@@ -1,0 +1,56 @@
+# SYN-dog reproduction — convenience targets.
+GO ?= go
+
+.PHONY: all build vet test bench examples experiments fast-experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Record the outputs the repository ships with.
+record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/leafrouter
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/lastmile
+	$(GO) run ./examples/ddoscampaign
+
+# Paper-fidelity reproduction of every table and figure (minutes).
+experiments:
+	$(GO) run ./cmd/experiment -run all
+
+# Quick smoke pass over the same artifacts (seconds).
+fast-experiments:
+	$(GO) run ./cmd/experiment -run all -fast
+
+ablations:
+	$(GO) run ./cmd/experiment -run ablations
+
+# 8 seconds per fuzz target; extend FUZZTIME for deeper runs.
+FUZZTIME ?= 8s
+fuzz:
+	$(GO) test ./internal/packet -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/packet -fuzz '^FuzzSegmentUnmarshal$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -fuzz '^FuzzReadCSV$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -fuzz '^FuzzAggregate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pcapng -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pcapng -fuzz '^FuzzReaderStreaming$$' -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean ./...
+	rm -f syndog syndogd tracegen floodgen experiment syndogfleet

@@ -1,0 +1,236 @@
+// Package repro's root benchmark suite: one benchmark per table and
+// figure of the paper (regenerating the artifact end to end through
+// the same registry the experiment binary uses), plus micro-benchmarks
+// of the per-packet and per-period hot paths that establish the
+// "low computation overhead" claim of Section 1.
+//
+// The artifact benchmarks use experiment fast mode so a full
+// `go test -bench=.` completes in minutes; run cmd/experiment for
+// paper-fidelity spans and Monte-Carlo counts.
+package repro
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cusum"
+	"repro/internal/experiment"
+	"repro/internal/flood"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// benchOpts are the fast-mode options shared by the artifact benches.
+func benchOpts(i int) experiment.Options {
+	return experiment.Options{Seed: int64(i + 1), Runs: 2, Fast: true}
+}
+
+// runArtifact executes one registered experiment per iteration and
+// reports artifact count so the compiler cannot elide the work.
+func runArtifact(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	total := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arts, err := e.Func(benchOpts(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += len(arts)
+	}
+	if total == 0 {
+		b.Fatal("no artifacts")
+	}
+}
+
+// BenchmarkTable1TraceFeatures regenerates Table 1 (trace summary).
+func BenchmarkTable1TraceFeatures(b *testing.B) { runArtifact(b, "table1") }
+
+// BenchmarkFig3Dynamics regenerates Figure 3 (LBL and Harvard
+// SYN-SYN/ACK dynamics).
+func BenchmarkFig3Dynamics(b *testing.B) { runArtifact(b, "fig3") }
+
+// BenchmarkFig4Dynamics regenerates Figure 4 (UNC and Auckland
+// dynamics).
+func BenchmarkFig4Dynamics(b *testing.B) { runArtifact(b, "fig4") }
+
+// BenchmarkFig5NormalOperation regenerates Figure 5 (CUSUM statistic
+// on flood-free traffic; zero false alarms).
+func BenchmarkFig5NormalOperation(b *testing.B) { runArtifact(b, "fig5") }
+
+// BenchmarkFig6Architecture smoke-runs the Figure 6 mixing harness.
+func BenchmarkFig6Architecture(b *testing.B) { runArtifact(b, "fig6") }
+
+// BenchmarkTable2UNCDetection regenerates Table 2 (detection
+// probability and time at UNC across fi = 37..120 SYN/s).
+func BenchmarkTable2UNCDetection(b *testing.B) { runArtifact(b, "table2") }
+
+// BenchmarkFig7UNCSensitivity regenerates Figure 7 (yn dynamics at
+// UNC under fi = 45/60/80 SYN/s floods).
+func BenchmarkFig7UNCSensitivity(b *testing.B) { runArtifact(b, "fig7") }
+
+// BenchmarkTable3AucklandDetection regenerates Table 3 (detection
+// performance at Auckland across fi = 1.5..10 SYN/s).
+func BenchmarkTable3AucklandDetection(b *testing.B) { runArtifact(b, "table3") }
+
+// BenchmarkFig8AucklandSensitivity regenerates Figure 8 (yn dynamics
+// at Auckland under fi = 2/5/10 SYN/s floods).
+func BenchmarkFig8AucklandSensitivity(b *testing.B) { runArtifact(b, "fig8") }
+
+// BenchmarkFig9TunedSensitivity regenerates Figure 9 (site-tuned
+// a=0.2/N=0.6 detecting a 15 SYN/s flood the defaults cannot).
+func BenchmarkFig9TunedSensitivity(b *testing.B) { runArtifact(b, "fig9") }
+
+// --- hot-path micro-benchmarks -----------------------------------------
+
+// BenchmarkPacketClassification measures the paper's three-step
+// classifier on raw bytes — the per-packet cost at the leaf router.
+func BenchmarkPacketClassification(b *testing.B) {
+	seg := packet.Build(
+		netip.MustParseAddr("10.1.0.5"), netip.MustParseAddr("11.0.0.1"),
+		40000, 80, 1, 0, packet.FlagSYN)
+	raw := seg.Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if packet.Classify(raw) != packet.KindSYN {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+// BenchmarkSnifferCount measures the per-packet counter update.
+func BenchmarkSnifferCount(b *testing.B) {
+	s := core.NewSniffer(netsim.Outbound)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Count(packet.KindSYN)
+	}
+}
+
+// BenchmarkCusumObserve measures one CUSUM update — the entire
+// per-period decision cost (two additions and a comparison).
+func BenchmarkCusumObserve(b *testing.B) {
+	d := cusum.NewDefault()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(0.01)
+	}
+}
+
+// BenchmarkAgentEndPeriod measures a full observation-period close:
+// sniffer drain, EWMA update, normalization, CUSUM, report append.
+func BenchmarkAgentEndPeriod(b *testing.B) {
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agent.Observe(netsim.Outbound, packet.KindSYN)
+		agent.Observe(netsim.Inbound, packet.KindSYNACK)
+		agent.EndPeriod(time.Duration(i) * time.Second)
+	}
+}
+
+// BenchmarkAgentObserveTap measures the full live tap path:
+// marshal -> classify -> count, i.e. what the router pays per packet
+// with SYN-dog installed.
+func BenchmarkAgentObserveTap(b *testing.B) {
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg := packet.Build(
+		netip.MustParseAddr("10.1.0.5"), netip.MustParseAddr("11.0.0.1"),
+		40000, 80, 1, 0, packet.FlagSYN)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = seg.Marshal(buf[:0])
+		agent.Observe(netsim.Outbound, packet.Classify(buf))
+	}
+}
+
+// BenchmarkTraceGeneration measures synthesizing one minute of
+// UNC-level background traffic (~6.5k connections).
+func BenchmarkTraceGeneration(b *testing.B) {
+	p := trace.UNC()
+	p.Span = time.Minute
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Generate(p, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Records) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkProcessTrace measures replaying a 10-minute Auckland trace
+// through the agent (the trace-driven experiment inner loop).
+func BenchmarkProcessTrace(b *testing.B) {
+	p := trace.Auckland()
+	p.Span = 10 * time.Minute
+	tr, err := trace.Generate(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent, err := core.NewAgent(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agent.ProcessTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFloodGeneration measures synthesizing a 10-minute
+// 120 SYN/s flood trace.
+func BenchmarkFloodGeneration(b *testing.B) {
+	cfg := flood.Config{
+		Start:      0,
+		Duration:   10 * time.Minute,
+		Pattern:    flood.Constant{PerSecond: 120},
+		Victim:     netip.MustParseAddr("11.99.99.1"),
+		VictimPort: 80,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		tr, err := flood.GenerateTrace(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Records) == 0 {
+			b.Fatal("empty flood")
+		}
+	}
+}
+
+// Example-level sanity: the micro-bench file participates in `go test`
+// too, keeping the root package non-empty for test tooling.
+func TestRegistryMatchesDesignDoc(t *testing.T) {
+	want := []string{"table1", "fig3", "fig4", "fig5", "fig6", "table2", "fig7", "table3", "fig8", "fig9"}
+	reg := experiment.Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry size %d, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].ID, id)
+		}
+	}
+}

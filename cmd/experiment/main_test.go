@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleArtifactWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	// table1 in fast mode is the cheapest full artifact.
+	if err := run([]string{"-run", "table1", "-fast", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "Trace,") {
+		t.Errorf("csv = %q...", string(data[:20]))
+	}
+}
+
+func TestRunMultiArtifactCSVNaming(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "fig3", "-fast", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig3-a.csv", "fig3-b.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunAblationId(t *testing.T) {
+	if err := run([]string{"-run", "ablation-state"}); err != nil {
+		t.Errorf("ablation id rejected: %v", err)
+	}
+}
+
+func TestRunMarkdownMode(t *testing.T) {
+	if err := run([]string{"-run", "table1", "-fast", "-md"}); err != nil {
+		t.Errorf("markdown mode failed: %v", err)
+	}
+	if err := run([]string{"-run", "fig6", "-fast", "-md"}); err != nil {
+		t.Errorf("diagram markdown failed: %v", err)
+	}
+}
+
+func TestRunGroupIds(t *testing.T) {
+	// 'all' and 'everything' resolve to non-empty experiment sets; the
+	// sets themselves are executed elsewhere (they are Monte-Carlo
+	// heavy), so only id resolution is checked here via a bogus csv
+	// dir failure short-circuit.
+	if err := run([]string{"-run", "all", "-fast", "-csv", "/dev/null/impossible"}); err == nil {
+		t.Error("uncreatable csv dir accepted")
+	}
+}

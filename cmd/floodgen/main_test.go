@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// makeBackground writes a small binary background trace and returns
+// its path.
+func makeBackground(t *testing.T) string {
+	t.Helper()
+	p := trace.Auckland()
+	p.Span = 8 * time.Minute
+	tr, err := trace.Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bg.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readTrace(t *testing.T, path string) *trace.Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunMixesFlood(t *testing.T) {
+	bg := makeBackground(t)
+	out := filepath.Join(t.TempDir(), "mixed.trace")
+	err := run([]string{
+		"-in", bg, "-o", out,
+		"-rate", "10", "-start", "2m", "-duration", "3m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := readTrace(t, out)
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	orig := readTrace(t, bg)
+	extra := len(mixed.Records) - len(orig.Records)
+	if extra != 1800 { // 10 SYN/s * 180 s
+		t.Errorf("flood records = %d, want 1800", extra)
+	}
+	if mixed.Span != orig.Span {
+		t.Errorf("span changed: %v -> %v", orig.Span, mixed.Span)
+	}
+	// Every added record is an outbound SYN in the flood window.
+	floodCount := 0
+	for _, r := range mixed.Records {
+		if r.Dst.String() == "11.99.99.1" {
+			floodCount++
+			if r.Kind != packet.KindSYN || r.Dir != trace.DirOut {
+				t.Fatalf("bad flood record %+v", r)
+			}
+			if r.Ts < 2*time.Minute || r.Ts >= 5*time.Minute {
+				t.Fatalf("flood record at %v outside window", r.Ts)
+			}
+		}
+	}
+	if floodCount != 1800 {
+		t.Errorf("flood records by victim = %d", floodCount)
+	}
+}
+
+func TestRunPatterns(t *testing.T) {
+	bg := makeBackground(t)
+	for _, pattern := range []string{"constant", "bursty", "ramp"} {
+		out := filepath.Join(t.TempDir(), pattern+".trace")
+		err := run([]string{
+			"-in", bg, "-o", out,
+			"-rate", "10", "-start", "1m", "-duration", "2m",
+			"-pattern", pattern,
+		})
+		if err != nil {
+			t.Errorf("pattern %s: %v", pattern, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bg := makeBackground(t)
+	if err := run([]string{"-in", bg, "-victim", "not-an-ip"}); err == nil {
+		t.Error("bad victim accepted")
+	}
+	if err := run([]string{"-in", bg, "-victim", "::1"}); err == nil {
+		t.Error("IPv6 victim accepted")
+	}
+	if err := run([]string{"-in", bg, "-pattern", "sinusoid"}); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flood"
+	"repro/internal/trace"
+)
+
+// writeTempTrace writes tr in the given format and returns the path.
+func writeTempTrace(t *testing.T, tr *trace.Trace, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(name, ".csv"):
+		err = trace.WriteCSV(f, tr)
+	case strings.HasSuffix(name, ".pcap"):
+		err = trace.WritePcap(f, tr)
+	default:
+		err = trace.WriteBinary(f, tr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benignTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := trace.Auckland()
+	p.Span = 10 * time.Minute
+	p.OutagesPerHour = 0
+	tr, err := trace.Generate(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func floodedTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	bg := benignTrace(t)
+	fl, err := flood.GenerateTrace(flood.Config{
+		Start:      3 * time.Minute,
+		Duration:   5 * time.Minute,
+		Pattern:    flood.Constant{PerSecond: 10},
+		Victim:     netip.MustParseAddr("11.99.99.1"),
+		VictimPort: 80,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := trace.Merge("mixed", bg, fl)
+	mixed.Span = bg.Span
+	return mixed
+}
+
+func TestRunCleanTraceExitsZero(t *testing.T) {
+	path := writeTempTrace(t, benignTrace(t), "bg.trace")
+	var out bytes.Buffer
+	code, err := run([]string{"-in", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "no flooding detected") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunFloodedTraceExitsTwo(t *testing.T) {
+	path := writeTempTrace(t, floodedTrace(t), "mixed.trace")
+	var out bytes.Buffer
+	code, err := run([]string{"-in", path, "-v"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "FLOODING ALARM") {
+		t.Error("missing alarm banner")
+	}
+	if !strings.Contains(out.String(), "*** ALARM ***") {
+		t.Error("verbose period table missing alarm markers")
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	path := writeTempTrace(t, floodedTrace(t), "mixed.csv")
+	var out bytes.Buffer
+	code, err := run([]string{"-in", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("csv exit code = %d, want 2", code)
+	}
+}
+
+func TestRunPcapInputNeedsPrefix(t *testing.T) {
+	path := writeTempTrace(t, floodedTrace(t), "mixed.pcap")
+	var out bytes.Buffer
+	if _, err := run([]string{"-in", path}, &out); err == nil {
+		t.Error("pcap without -prefix accepted")
+	}
+	code, err := run([]string{"-in", path, "-prefix", "130.216.0.0/16"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("pcap exit code = %d, want 2", code)
+	}
+}
+
+func TestRunTcpdumpInput(t *testing.T) {
+	// A hand-rolled tcpdump log with a clear flood tail.
+	var sb strings.Builder
+	for s := 0; s < 120; s++ {
+		ts := fmt.Sprintf("10:00:%02d.000000", s%60)
+		if s >= 60 {
+			ts = fmt.Sprintf("10:01:%02d.000000", s%60)
+		}
+		sb.WriteString(ts + " IP 130.216.0.5.40000 > 11.0.0.1.80: Flags [S], length 0\n")
+		if s < 60 {
+			sb.WriteString(ts + " IP 11.0.0.1.80 > 130.216.0.5.40000: Flags [S.], length 0\n")
+		} else {
+			// Flood phase: 9 extra unanswered SYNs per second.
+			for k := 0; k < 9; k++ {
+				sb.WriteString(ts + " IP 240.0.0.7.999 > 11.0.0.1.80: Flags [S], length 0\n")
+			}
+		}
+	}
+	path := filepath.Join(t.TempDir(), "log.txt")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := run([]string{"-in", path}, &out); err == nil {
+		t.Error("tcpdump without -prefix accepted")
+	}
+	code, err := run([]string{"-in", path, "-prefix", "130.216.0.0/16", "-t0", "10s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("tcpdump exit code = %d, want 2 (alarm)", code)
+	}
+}
+
+func TestRunTunedParameters(t *testing.T) {
+	path := writeTempTrace(t, benignTrace(t), "bg.trace")
+	var out bytes.Buffer
+	code, err := run([]string{"-in", path, "-a", "0.2", "-N", "0.6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("tuned params false-alarmed on benign trace (code %d)", code)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{}, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if _, err := run([]string{"-in", "/nonexistent/x.trace"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := run([]string{"-in", "x", "-t0", "-5s"}, &out); err == nil {
+		t.Error("negative t0 accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Command syndogfleet simulates the paper's full deployment story in
+// one run: a DDoS campaign of total rate V split across A stub
+// networks, a SYN-dog on every leaf router, a victim server with a
+// finite backlog, and the per-stub alarms that locate the flooding
+// sources.
+//
+// Usage:
+//
+//	syndogfleet -stubs 8 -flooders 3 -rate 240 -duration 3m
+//
+// The report shows, per stub, whether its SYN-dog alarmed (ground
+// truth: does it host a slave?), the alarm latency, and the located
+// station; plus the victim's backlog trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/flood"
+	"repro/internal/mitigate"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/tcp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "syndogfleet:", err)
+		os.Exit(1)
+	}
+}
+
+type stubReport struct {
+	hasSlave bool
+	agent    *core.Agent
+	locator  *mitigate.Locator
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("syndogfleet", flag.ContinueOnError)
+	var (
+		stubs     = fs.Int("stubs", 8, "number of stub networks")
+		flooders  = fs.Int("flooders", 3, "stubs hosting a flooding slave")
+		totalRate = fs.Float64("rate", 240, "aggregate flood rate V in SYN/s")
+		duration  = fs.Duration("duration", 3*time.Minute, "flood duration")
+		onset     = fs.Duration("onset", time.Minute, "flood onset")
+		t0        = fs.Duration("t0", 10*time.Second, "observation period")
+		benign    = fs.Float64("benign", 40, "legitimate connections/s per stub")
+		seed      = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *flooders > *stubs {
+		return fmt.Errorf("flooders (%d) cannot exceed stubs (%d)", *flooders, *stubs)
+	}
+	if *stubs < 1 || *stubs > 200 {
+		return fmt.Errorf("stubs must be in [1, 200]")
+	}
+
+	sim := eventsim.New()
+	cloud := netsim.NewInternet(sim)
+	rng := rand.New(rand.NewSource(*seed))
+
+	// Victim with a realistic backlog.
+	victimStub, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
+		Prefix: netip.MustParsePrefix("10.99.0.0/24"), Hosts: 1,
+		HostDelay: time.Millisecond, UplinkDelay: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	victim := victimStub.Hosts[0]
+	server, err := tcp.NewServer(sim, victim.Addr, 80, victim.Send,
+		tcp.ServerConfig{Backlog: 512})
+	if err != nil {
+		return err
+	}
+	victim.OnPacket = server.Deliver
+
+	// A farm of always-responsive servers carries most benign load so
+	// the victim's deafness cannot false-alarm innocent stubs.
+	farmStub, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
+		Prefix: netip.MustParsePrefix("10.98.0.0/24"), Hosts: 12,
+		HostDelay: time.Millisecond, UplinkDelay: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	responders := make([]netip.Addr, 0, len(farmStub.Hosts))
+	for _, h := range farmStub.Hosts {
+		h := h
+		h.OnPacket = func(_ time.Duration, s packet.Segment) {
+			if s.Kind() == packet.KindSYN {
+				h.Send(packet.Build(s.IP.Dst, s.IP.Src, s.TCP.DstPort, s.TCP.SrcPort,
+					1, s.TCP.Seq+1, packet.FlagSYN|packet.FlagACK))
+			}
+		}
+		responders = append(responders, h.Addr)
+	}
+	destinations := append([]netip.Addr{victim.Addr}, responders...)
+
+	// Stubs, agents, slaves.
+	perStub := *totalRate / float64(*flooders)
+	master := flood.NewMaster()
+	reports := make([]*stubReport, *stubs)
+	for i := 0; i < *stubs; i++ {
+		prefix := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", i+1))
+		sn, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
+			Prefix: prefix, Hosts: 2,
+			HostDelay: time.Millisecond, UplinkDelay: 10 * time.Millisecond,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		sr := &stubReport{hasSlave: i < *flooders}
+		reports[i] = sr
+		if sr.agent, err = core.NewAgent(core.Config{T0: *t0}); err != nil {
+			return err
+		}
+		if _, err = sr.agent.Install(sim, sn.Router); err != nil {
+			return err
+		}
+		if sr.locator, err = mitigate.NewLocator(prefix); err != nil {
+			return err
+		}
+		slaveHost := sn.Hosts[1]
+		sn.Router.AddTap(func(now time.Duration, dir netsim.Direction, seg *packet.Segment) {
+			if dir != netsim.Outbound {
+				return
+			}
+			station := mitigate.StationFromAddr(seg.IP.Src)
+			if !prefix.Contains(seg.IP.Src) {
+				station = mitigate.StationFromAddr(slaveHost.Addr)
+			}
+			sr.locator.Observe(now, station, seg.IP.Src)
+		})
+
+		// Benign clients: bare SYN/ACK exchanges from host 0.
+		legit := sn.Hosts[0]
+		legit.OnPacket = func(_ time.Duration, s packet.Segment) {
+			if s.Kind() == packet.KindSYNACK {
+				legit.Send(packet.Build(s.IP.Dst, s.IP.Src, s.TCP.DstPort, s.TCP.SrcPort,
+					s.TCP.Ack, s.TCP.Seq+1, packet.FlagACK))
+			}
+		}
+		horizon := *onset + *duration + time.Minute
+		gap := time.Duration(float64(time.Second) / *benign)
+		for c := 0; c < int(horizon/gap); c++ {
+			c := c
+			dst := destinations[rng.Intn(len(destinations))]
+			isn := rng.Uint32()
+			sim.At(time.Duration(c)*gap, func(time.Duration) {
+				legit.Send(packet.Build(legit.Addr, dst,
+					uint16(10000+c%50000), 80, isn, 0, packet.FlagSYN))
+			})
+		}
+
+		if sr.hasSlave {
+			slave, err := flood.NewSlave(slaveHost, victim.Addr, 80,
+				flood.Constant{PerSecond: perStub}, *seed+int64(i))
+			if err != nil {
+				return err
+			}
+			master.Enlist(slave)
+		}
+	}
+
+	if master.Slaves() > 0 {
+		if err := master.Launch(sim, *onset, *duration); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("fleet: %d stubs (%d flooding), V=%.0f SYN/s (fi=%.1f each), onset %v, duration %v\n\n",
+		*stubs, *flooders, *totalRate, perStub, *onset, *duration)
+	sim.RunUntil(*onset + *duration + time.Minute)
+
+	correct := 0
+	onsetPeriod := int(*onset / *t0)
+	for i, sr := range reports {
+		role := "clean "
+		if sr.hasSlave {
+			role = "SLAVE "
+		}
+		verdict := "quiet"
+		if al := sr.agent.FirstAlarm(); al != nil {
+			verdict = fmt.Sprintf("ALARM at %v (+%d periods)", al.At, al.Period-onsetPeriod)
+			if suspects := sr.locator.Suspects(); len(suspects) > 0 {
+				verdict += fmt.Sprintf(", located %v", suspects[0].Station)
+			}
+		}
+		ok := sr.agent.Alarmed() == sr.hasSlave
+		if ok {
+			correct++
+		}
+		marker := " "
+		if !ok {
+			marker = "!"
+		}
+		fmt.Printf("%s stub %2d [%s] %s\n", marker, i, role, verdict)
+	}
+	st := server.Stats()
+	fmt.Printf("\nvictim: %d SYNs, %d dropped (backlog full), %d established\n",
+		st.SynReceived, st.SynDropped, st.Established)
+	fmt.Printf("fleet accuracy: %d/%d stubs judged correctly\n", correct, len(reports))
+	if correct != len(reports) {
+		return fmt.Errorf("fleet verdicts disagree with ground truth")
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestFleetEndToEnd(t *testing.T) {
+	// Small but complete fleet: the run fails with an error when any
+	// stub's verdict disagrees with ground truth, so a nil error is
+	// the assertion.
+	err := run([]string{
+		"-stubs", "4", "-flooders", "2", "-rate", "160",
+		"-duration", "90s", "-onset", "30s", "-t0", "10s", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetNoFlooders(t *testing.T) {
+	// All-clean fleet: nobody may alarm.
+	err := run([]string{
+		"-stubs", "3", "-flooders", "0", "-duration", "60s", "-onset", "20s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	if err := run([]string{"-stubs", "2", "-flooders", "5"}); err == nil {
+		t.Error("flooders > stubs accepted")
+	}
+	if err := run([]string{"-stubs", "0"}); err == nil {
+		t.Error("zero stubs accepted")
+	}
+	if err := run([]string{"-stubs", "1000"}); err == nil {
+		t.Error("absurd stub count accepted")
+	}
+}

@@ -1,0 +1,93 @@
+// Command tracegen synthesizes the per-site background traces
+// (calibrated substitutes for the paper's LBL/Harvard/UNC/Auckland
+// captures; see DESIGN.md).
+//
+// Usage:
+//
+//	tracegen -site unc -o unc.trace                  # binary format
+//	tracegen -site auckland -format csv -o a.csv     # text format
+//	tracegen -site lbl -format pcap -o lbl.pcap      # tcpdump-compatible
+//	tracegen -site harvard -span 10m -seed 7 -o h.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		site   = fs.String("site", "unc", "site profile: lbl, harvard, unc, auckland")
+		span   = fs.Duration("span", 0, "override the profile's capture duration (0 = paper value)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		format = fs.String("format", "bin", "output format: bin, csv, pcap")
+		out    = fs.String("o", "", "output file ('-' or empty = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, err := profileByName(*site)
+	if err != nil {
+		return err
+	}
+	if *span > 0 {
+		profile.Span = *span
+	}
+
+	tr, err := trace.Generate(profile, *seed)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *format {
+	case "bin":
+		err = trace.WriteBinary(w, tr)
+	case "csv":
+		err = trace.WriteCSV(w, tr)
+	case "pcap":
+		err = trace.WritePcap(w, tr)
+	default:
+		return fmt.Errorf("unknown format %q (bin, csv, pcap)", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "%s: %v span, %d records (%d out-SYN, %d in-SYN/ACK), %s\n",
+		tr.Name, tr.Span, s.Records, s.OutSYN, s.InSYNACK, s.Directional)
+	return nil
+}
+
+func profileByName(name string) (trace.Profile, error) {
+	for _, p := range trace.Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return trace.Profile{}, fmt.Errorf("unknown site %q (lbl, harvard, unc, auckland)", name)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"lbl", "LBL", "harvard", "unc", "Auckland"} {
+		p, err := profileByName(name)
+		if err != nil {
+			t.Errorf("profileByName(%q): %v", name, err)
+		}
+		if !strings.EqualFold(p.Name, name) {
+			t.Errorf("profileByName(%q) = %q", name, p.Name)
+		}
+	}
+	if _, err := profileByName("mit"); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestRunGeneratesBinaryTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.trace")
+	if err := run([]string{"-site", "auckland", "-span", "5m", "-seed", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "Auckland" || len(tr.Records) == 0 {
+		t.Errorf("trace = %q with %d records", tr.Name, len(tr.Records))
+	}
+}
+
+func TestRunGeneratesCSVAndPcap(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "x.csv")
+	if err := run([]string{"-site", "lbl", "-span", "2m", "-format", "csv", "-o", csv}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# trace LBL") {
+		t.Errorf("csv header = %q", string(data[:40]))
+	}
+
+	pcap := filepath.Join(dir, "x.pcap")
+	if err := run([]string{"-site", "lbl", "-span", "2m", "-format", "pcap", "-o", pcap}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(pcap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 24 {
+		t.Error("pcap too small to contain a header")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run([]string{"-site", "nowhere"}); err == nil {
+		t.Error("bad site accepted")
+	}
+	if err := run([]string{"-site", "lbl", "-span", "2m", "-format", "xml", "-o", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Error("bad format accepted")
+	}
+}

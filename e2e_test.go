@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipelineEndToEnd builds the actual shipped binaries and runs
+// the workflow the README advertises: synthesize a background trace,
+// mix in a flood, and run the detector over both — asserting the
+// documented exit codes (0 = clean, 2 = flooding alarm).
+func TestCLIPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"tracegen", "floodgen", "syndog"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+
+	bg := filepath.Join(dir, "bg.trace")
+	mixed := filepath.Join(dir, "mixed.trace")
+
+	runCmd := func(wantExit int, bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[bin], args...)
+		out, err := cmd.CombinedOutput()
+		exit := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+			}
+			exit = ee.ExitCode()
+		}
+		if exit != wantExit {
+			t.Fatalf("%s %v: exit %d, want %d\n%s", bin, args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	runCmd(0, "tracegen", "-site", "auckland", "-span", "20m", "-seed", "4", "-o", bg)
+	if fi, err := os.Stat(bg); err != nil || fi.Size() == 0 {
+		t.Fatalf("tracegen produced no file: %v", err)
+	}
+
+	runCmd(0, "floodgen", "-in", bg, "-rate", "10", "-start", "8m", "-duration", "10m", "-o", mixed)
+
+	clean := runCmd(0, "syndog", "-in", bg)
+	if !strings.Contains(clean, "no flooding detected") {
+		t.Errorf("clean run output: %q", clean)
+	}
+
+	alarmed := runCmd(2, "syndog", "-in", mixed, "-v")
+	if !strings.Contains(alarmed, "FLOODING ALARM") {
+		t.Errorf("flooded run output missing alarm: %q", alarmed)
+	}
+	// The verbose table must show the accumulation reaching past N.
+	if !strings.Contains(alarmed, "*** ALARM ***") {
+		t.Error("verbose period table missing alarm markers")
+	}
+}

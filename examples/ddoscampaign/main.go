@@ -1,0 +1,283 @@
+// DDoS campaign: the paper's end-to-end story in one simulation.
+//
+// A master coordinates flooding slaves planted in several stub
+// networks (one slave per stub, Section 4.2). Each slave sprays
+// spoofed SYNs at a victim web server whose finite backlog is the
+// attack target. Every leaf router runs a SYN-dog agent; when an
+// agent's CUSUM statistic crosses the threshold it:
+//
+//  1. raises the flooding alarm (the source is inside its stub),
+//  2. consults the MAC-address locator to pinpoint the slave, and
+//  3. enables RFC 2267 ingress filtering to choke the flood.
+//
+// Meanwhile a stub without a slave shows no alarm, and the victim's
+// backlog statistics show the denial of service taking hold and then
+// receding once filtering kicks in.
+//
+// Run with: go run ./examples/ddoscampaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/flood"
+	"repro/internal/mitigate"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/tcp"
+)
+
+const (
+	stubCount      = 3   // stubs 0,1 host slaves; stub 2 is innocent
+	benignConnRate = 40  // legitimate connections/s per stub
+	floodRate      = 120 // spoofed SYN/s per slave
+	floodStart     = 60 * time.Second
+	floodLength    = 3 * time.Minute
+	simLength      = 6 * time.Minute
+	t0             = 10 * time.Second // shortened observation period for a compact demo
+)
+
+type stubState struct {
+	net      *netsim.StubNetwork
+	agent    *core.Agent
+	filter   *mitigate.IngressFilter
+	locator  *mitigate.Locator
+	hasSlave bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim := eventsim.New()
+	cloud := netsim.NewInternet(sim)
+	rng := rand.New(rand.NewSource(1))
+
+	// Victim: a TCP server with a 256-entry backlog in its own stub.
+	victimStub, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
+		Prefix:      netip.MustParsePrefix("10.99.0.0/24"),
+		Hosts:       1,
+		HostDelay:   time.Millisecond,
+		UplinkDelay: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	victimHost := victimStub.Hosts[0]
+	server, err := tcp.NewServer(sim, victimHost.Addr, 80, victimHost.Send, tcp.ServerConfig{
+		Backlog:         256,
+		HalfOpenTimeout: 75 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	victimHost.OnPacket = server.Deliver
+
+	// Other, unattacked servers: benign traffic spreads across many
+	// destinations, so one deaf victim cannot starve an innocent
+	// stub's SYN/ACK counts (which would otherwise false-alarm its
+	// SYN-dog — an overloaded server mutes SYN/ACKs for everyone).
+	// 14 healthy servers + 1 victim: the victim carries ~7% of each
+	// stub's connections, so even when it goes fully deaf the innocent
+	// stub's normalized discrepancy stays well under the offset a=0.35
+	// (a deaf server muting >~12% of a stub's handshakes would look
+	// like a flood to any SYN-vs-SYN/ACK detector).
+	otherStub, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
+		Prefix:      netip.MustParsePrefix("10.98.0.0/24"),
+		Hosts:       14,
+		HostDelay:   time.Millisecond,
+		UplinkDelay: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	servers := []netip.Addr{}
+	for _, h := range otherStub.Hosts {
+		h := h
+		srv, err := tcp.NewServer(sim, h.Addr, 80, h.Send, tcp.ServerConfig{Backlog: 4096})
+		if err != nil {
+			return err
+		}
+		h.OnPacket = srv.Deliver
+		servers = append(servers, h.Addr)
+	}
+
+	// Client stubs.
+	stubs := make([]*stubState, stubCount)
+	master := flood.NewMaster()
+	for i := range stubs {
+		prefix := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", i+1))
+		sn, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
+			Prefix:      prefix,
+			Hosts:       3, // hosts 0,1 legitimate; host 2 is the (potential) slave
+			HostDelay:   time.Millisecond,
+			UplinkDelay: 10 * time.Millisecond,
+		}, nil)
+		if err != nil {
+			return err
+		}
+		st := &stubState{net: sn, hasSlave: i < 2}
+		stubs[i] = st
+
+		if st.filter, err = mitigate.NewIngressFilter(prefix); err != nil {
+			return err
+		}
+		if st.locator, err = mitigate.NewLocator(prefix); err != nil {
+			return err
+		}
+		if st.agent, err = core.NewAgent(core.Config{T0: t0}); err != nil {
+			return err
+		}
+		if _, err = st.agent.Install(sim, sn.Router); err != nil {
+			return err
+		}
+
+		// The router's outbound tap also feeds the locator (the
+		// "switch" knows which station each frame entered from) and
+		// honors the ingress filter once enabled. netsim taps cannot
+		// drop, so the filter is modeled by counting what it would
+		// have dropped — the victim-side effect is shown by stopping
+		// the slave at alarm time below.
+		sn.Router.AddTap(func(now time.Duration, dir netsim.Direction, seg *packet.Segment) {
+			if dir != netsim.Outbound {
+				return
+			}
+			st.filter.Allow(seg.IP.Src)
+			station := originStation(st, seg.IP.Src)
+			st.locator.Observe(now, station, seg.IP.Src)
+		})
+
+		idx := i
+		st.agent.OnAlarm = func(a core.Alarm) {
+			fmt.Printf("[%8v] stub %d: FLOODING ALARM (period %d, yn=%.2f)\n",
+				a.At, idx, a.Period, a.Y)
+			st.filter.Enable()
+			for _, s := range st.locator.Suspects() {
+				fmt.Printf("            located flooding station %v (%d spoofed SYNs, %d forged sources)\n",
+					s.Station, s.Spoofed, s.DistinctSources)
+			}
+		}
+
+		// Legitimate load: hosts 0 and 1 open connections at random,
+		// mostly to the unattacked servers, sometimes to the victim.
+		destinations := append([]netip.Addr{victimHost.Addr}, servers...)
+		for h := 0; h < 2; h++ {
+			scheduleBenignClients(sim, sn.Hosts[h], destinations, rng)
+		}
+
+		if st.hasSlave {
+			slave, err := flood.NewSlave(sn.Hosts[2], victimHost.Addr, 80,
+				flood.Constant{PerSecond: floodRate}, int64(100+i))
+			if err != nil {
+				return err
+			}
+			master.Enlist(slave)
+		}
+	}
+
+	fmt.Printf("launching DDoS: %d slaves x %d SYN/s at t=%v for %v\n",
+		master.Slaves(), floodRate, floodStart, floodLength)
+	if err := master.Launch(sim, floodStart, floodLength); err != nil {
+		return err
+	}
+
+	// Periodic victim-side report.
+	if _, err := sim.NewPeriodic(30*time.Second, func(now time.Duration) {
+		st := server.Stats()
+		fmt.Printf("[%8v] victim: backlog %3d/256, %5d SYNs, %4d dropped, %4d established\n",
+			now, server.BacklogLen(), st.SynReceived, st.SynDropped, st.Established)
+	}); err != nil {
+		return err
+	}
+
+	sim.RunUntil(simLength)
+
+	fmt.Println("\n--- final state ---")
+	for i, st := range stubs {
+		role := "innocent"
+		if st.hasSlave {
+			role = "hosts a slave"
+		}
+		passed, dropped := st.filter.Stats()
+		fmt.Printf("stub %d (%s): alarmed=%v, filter enabled=%v (passed %d, would-drop %d)\n",
+			i, role, st.agent.Alarmed(), st.filter.Enabled(), passed, dropped)
+		if st.agent.Alarmed() != st.hasSlave {
+			return fmt.Errorf("stub %d: detection outcome does not match ground truth", i)
+		}
+	}
+	vs := server.Stats()
+	fmt.Printf("victim: %d SYNs received, %d dropped by full backlog, %d connections established\n",
+		vs.SynReceived, vs.SynDropped, vs.Established)
+	if vs.SynDropped == 0 {
+		return fmt.Errorf("the flood never exhausted the victim backlog — attack model broken")
+	}
+	return nil
+}
+
+// clientMux demultiplexes a host's inbound packets to live client
+// connections by local port, dropping finished connections.
+type clientMux struct {
+	clients map[uint16]*tcp.Client
+}
+
+func newClientMux(host *netsim.Host) *clientMux {
+	m := &clientMux{clients: make(map[uint16]*tcp.Client)}
+	host.OnPacket = func(now time.Duration, seg packet.Segment) {
+		cli, ok := m.clients[seg.TCP.DstPort]
+		if !ok {
+			return
+		}
+		cli.Deliver(now, seg)
+		if s := cli.State(); s == tcp.StateEstablished || s == tcp.StateFailed {
+			delete(m.clients, seg.TCP.DstPort)
+		}
+	}
+	return m
+}
+
+// scheduleBenignClients opens one legitimate connection per host every
+// ~1/benignConnRate*2 seconds (two hosts per stub share the load),
+// picking a random destination per connection — destinations[0] is
+// the future victim and gets 1/len(destinations) of the load.
+func scheduleBenignClients(sim *eventsim.Sim, host *netsim.Host, destinations []netip.Addr, rng *rand.Rand) {
+	mux := newClientMux(host)
+	gap := time.Duration(float64(time.Second) * 2 / benignConnRate)
+	conns := int(simLength / gap)
+	for c := 0; c < conns; c++ {
+		at := time.Duration(c)*gap + time.Duration(rng.Int63n(int64(gap)))
+		port := uint16(20000 + c%40000)
+		isn := rng.Uint32()
+		dst := destinations[rng.Intn(len(destinations))]
+		sim.At(at, func(time.Duration) {
+			cli, err := tcp.NewClient(sim, host.Addr, port, dst, 80, isn, host.Send, tcp.ClientConfig{})
+			if err != nil {
+				return
+			}
+			mux.clients[port] = cli
+			_ = cli.Connect()
+		})
+	}
+}
+
+// originStation maps a packet back to the station that emitted it. In
+// a real switch this is the ingress port's learned MAC; here the
+// slave's spoofed packets (out-of-prefix source) must have come from
+// the stub's flooding host, and legitimate sources identify
+// themselves.
+func originStation(st *stubState, src netip.Addr) mitigate.StationID {
+	if st.net.Router.Prefix.Contains(src) {
+		return mitigate.StationFromAddr(src)
+	}
+	// Spoofed: attribute to the slave host (index 2), which is the
+	// only station whose frames carry foreign sources.
+	return mitigate.StationFromAddr(st.net.Hosts[2].Addr)
+}

@@ -1,0 +1,231 @@
+package classify
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// TrieClassifier is a grid-of-tries-style structure: a binary trie on
+// the source prefix whose nodes hang a second binary trie on the
+// destination prefix; each (src, dst) grid cell stores the rules with
+// exactly those prefixes, pre-sorted by priority. A lookup walks the
+// source trie along the key's source address, and at every node with
+// a destination trie walks that along the destination address,
+// collecting candidate cells; the highest-priority candidate rule
+// whose port ranges and flags also match wins.
+//
+// This mirrors the hierarchical-trie family of [28] (Srinivasan et
+// al., "Fast and Scalable Layer Four Switching"): exact for any rule
+// set, with lookup cost proportional to address bits rather than rule
+// count.
+type TrieClassifier struct {
+	root  *srcNode
+	count int
+}
+
+// srcNode is one source-trie node.
+type srcNode struct {
+	children [2]*srcNode
+	dst      *dstNode // destination trie for rules whose src prefix ends here
+}
+
+// dstNode is one destination-trie node.
+type dstNode struct {
+	children [2]*dstNode
+	rules    []ruleRef // rules anchored at this (src,dst) cell, priority desc
+}
+
+// ruleRef keeps the original insertion index for stable tie-breaks.
+type ruleRef struct {
+	rule  Rule
+	index int
+}
+
+// NewTrie builds a trie classifier from rules.
+func NewTrie(rules []Rule) (*TrieClassifier, error) {
+	t := &TrieClassifier{root: &srcNode{}}
+	for i := range rules {
+		if err := rules[i].validate(); err != nil {
+			return nil, err
+		}
+		t.insert(rules[i], i)
+	}
+	t.sortCells(t.root)
+	return t, nil
+}
+
+func (t *TrieClassifier) insert(r Rule, index int) {
+	sn := t.root
+	srcBits := prefixBits(r.Src)
+	for _, b := range srcBits {
+		if sn.children[b] == nil {
+			sn.children[b] = &srcNode{}
+		}
+		sn = sn.children[b]
+	}
+	if sn.dst == nil {
+		sn.dst = &dstNode{}
+	}
+	dn := sn.dst
+	for _, b := range prefixBits(r.Dst) {
+		if dn.children[b] == nil {
+			dn.children[b] = &dstNode{}
+		}
+		dn = dn.children[b]
+	}
+	dn.rules = append(dn.rules, ruleRef{rule: r, index: index})
+	t.count++
+}
+
+// sortCells orders every cell's rules by (priority desc, index asc).
+func (t *TrieClassifier) sortCells(sn *srcNode) {
+	if sn == nil {
+		return
+	}
+	if sn.dst != nil {
+		sortDst(sn.dst)
+	}
+	t.sortCells(sn.children[0])
+	t.sortCells(sn.children[1])
+}
+
+func sortDst(dn *dstNode) {
+	if dn == nil {
+		return
+	}
+	sort.SliceStable(dn.rules, func(i, j int) bool {
+		if dn.rules[i].rule.Priority != dn.rules[j].rule.Priority {
+			return dn.rules[i].rule.Priority > dn.rules[j].rule.Priority
+		}
+		return dn.rules[i].index < dn.rules[j].index
+	})
+	sortDst(dn.children[0])
+	sortDst(dn.children[1])
+}
+
+// Classify implements Classifier.
+func (t *TrieClassifier) Classify(k Key) (Verdict, error) {
+	best := ruleRef{index: -1}
+	haveBest := false
+
+	consider := func(refs []ruleRef) {
+		for _, ref := range refs {
+			if haveBest && !betterThan(ref, best) {
+				// Cells are priority-sorted, so once a cell's head is
+				// no better than the current best, the rest cannot be
+				// either.
+				return
+			}
+			if ref.rule.SrcPort.Contains(k.SrcPort) &&
+				ref.rule.DstPort.Contains(k.DstPort) &&
+				ref.rule.Flags.Matches(k.Flags) {
+				best = ref
+				haveBest = true
+				return
+			}
+		}
+	}
+
+	// Walk the source trie along the key's source bits; at every node
+	// reached (every matching source prefix length), walk its dst trie.
+	sn := t.root
+	srcPath := addrBits(k.Src)
+	for depth := 0; ; depth++ {
+		if sn.dst != nil {
+			walkDst(sn.dst, addrBits(k.Dst), consider)
+		}
+		if depth >= len(srcPath) {
+			break
+		}
+		next := sn.children[srcPath[depth]]
+		if next == nil {
+			break
+		}
+		sn = next
+	}
+	if !haveBest {
+		return Verdict{}, ErrNoVerdict
+	}
+	return Verdict{Action: best.rule.Action, Rule: best.rule.Name}, nil
+}
+
+func betterThan(a, b ruleRef) bool {
+	if a.rule.Priority != b.rule.Priority {
+		return a.rule.Priority > b.rule.Priority
+	}
+	return a.index < b.index
+}
+
+// walkDst visits every destination-trie cell along the key's bits.
+func walkDst(dn *dstNode, path []uint8, visit func([]ruleRef)) {
+	for depth := 0; ; depth++ {
+		if len(dn.rules) > 0 {
+			visit(dn.rules)
+		}
+		if depth >= len(path) {
+			return
+		}
+		next := dn.children[path[depth]]
+		if next == nil {
+			return
+		}
+		dn = next
+	}
+}
+
+// Rules implements Classifier.
+func (t *TrieClassifier) Rules() int { return t.count }
+
+// prefixBits returns the prefix's significant bits as 0/1 values.
+func prefixBits(p netip.Prefix) []uint8 {
+	addr := p.Masked().Addr().As4()
+	bits := make([]uint8, p.Bits())
+	for i := 0; i < p.Bits(); i++ {
+		bits[i] = (addr[i/8] >> (7 - i%8)) & 1
+	}
+	return bits
+}
+
+// addrBits returns all 32 bits of an IPv4 address.
+func addrBits(a netip.Addr) []uint8 {
+	v4 := a.As4()
+	bits := make([]uint8, 32)
+	for i := 0; i < 32; i++ {
+		bits[i] = (v4[i/8] >> (7 - i%8)) & 1
+	}
+	return bits
+}
+
+// Compile-time interface checks.
+var (
+	_ Classifier = (*LinearClassifier)(nil)
+	_ Classifier = (*TrieClassifier)(nil)
+)
+
+// SynDogRules returns the rule set a SYN-dog deployment installs at a
+// leaf router for stub prefix p: count outgoing pure SYNs and incoming
+// SYN/ACKs, forward everything else. This is the §2 by-product
+// relationship made concrete: the sniffers are just two ActionCount
+// rules in the router's classifier.
+func SynDogRules(stub netip.Prefix) []Rule {
+	anyV4 := netip.MustParsePrefix("0.0.0.0/0")
+	return []Rule{
+		{
+			Name: "count-outgoing-syn", Priority: 100, Action: ActionCount,
+			Src: stub, Dst: anyV4,
+			SrcPort: AnyPort, DstPort: AnyPort,
+			Flags: SYNOnly,
+		},
+		{
+			Name: "count-incoming-synack", Priority: 100, Action: ActionCount,
+			Src: anyV4, Dst: stub,
+			SrcPort: AnyPort, DstPort: AnyPort,
+			Flags: SYNACKOnly,
+		},
+		{
+			Name: "default-forward", Priority: 0, Action: ActionForward,
+			Src: anyV4, Dst: anyV4,
+			SrcPort: AnyPort, DstPort: AnyPort,
+		},
+	}
+}

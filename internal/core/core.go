@@ -1,0 +1,380 @@
+// Package core implements SYN-dog itself: the stateless software agent
+// installed at a leaf router that sniffs SYN flooding sources
+// (Sections 2-3 of the paper).
+//
+// An Agent owns two Sniffers — one per router interface. The outbound
+// Sniffer counts outgoing SYNs, the inbound Sniffer counts incoming
+// SYN/ACKs. At the end of every observation period t0 (default 20 s)
+// the agent:
+//
+//  1. collects Δn = #outgoing SYN − #incoming SYN/ACK,
+//  2. updates K̄ with the EWMA of Eq. 1 and normalizes Xn = Δn/K̄,
+//  3. feeds Xn to the non-parametric CUSUM detector (Eqs. 2-4).
+//
+// When the test statistic yn exceeds the threshold N the agent raises
+// an alarm: the flooding source is inside this stub network, so no IP
+// traceback is needed — that is the paper's headline property.
+//
+// The agent is stateless in the paper's sense: its memory is two
+// packet counters, one EWMA scalar and one CUSUM scalar, independent
+// of connection count, which is what makes it immune to flooding.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cusum"
+	"repro/internal/eventsim"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// DefaultObservationPeriod is t0 from Section 3.1.
+const DefaultObservationPeriod = 20 * time.Second
+
+// DefaultAlpha is the EWMA memory used for the K̄ estimate of Eq. 1.
+// The paper leaves α unspecified ("a constant lying strictly between
+// 0 and 1"); 0.9 gives a ~10-period memory.
+const DefaultAlpha = 0.9
+
+// Sniffer counts classified TCP control packets at one router
+// interface. It is the per-interface half of SYN-dog (Figure 2); two
+// sniffers share their counts with the agent at each period boundary.
+type Sniffer struct {
+	dir netsim.Direction
+
+	// Per-kind running counters for the current observation period.
+	syn    uint64
+	synAck uint64
+	fin    uint64
+	rst    uint64
+
+	// Lifetime totals (not reset at period boundaries).
+	totalSeen uint64
+}
+
+// NewSniffer builds a sniffer for the given interface direction.
+func NewSniffer(dir netsim.Direction) *Sniffer {
+	return &Sniffer{dir: dir}
+}
+
+// Direction returns the interface this sniffer watches.
+func (s *Sniffer) Direction() netsim.Direction { return s.dir }
+
+// Count records one packet of the given kind.
+func (s *Sniffer) Count(kind packet.Kind) {
+	s.totalSeen++
+	switch kind {
+	case packet.KindSYN:
+		s.syn++
+	case packet.KindSYNACK:
+		s.synAck++
+	case packet.KindFIN:
+		s.fin++
+	case packet.KindRST:
+		s.rst++
+	}
+}
+
+// PeriodCounts is the snapshot a sniffer reports at a period boundary.
+type PeriodCounts struct {
+	SYN    uint64
+	SYNACK uint64
+	FIN    uint64
+	RST    uint64
+}
+
+// Drain returns the current period's counts and resets them.
+func (s *Sniffer) Drain() PeriodCounts {
+	pc := PeriodCounts{SYN: s.syn, SYNACK: s.synAck, FIN: s.fin, RST: s.rst}
+	s.syn, s.synAck, s.fin, s.rst = 0, 0, 0, 0
+	return pc
+}
+
+// TotalSeen returns the lifetime packet count.
+func (s *Sniffer) TotalSeen() uint64 { return s.totalSeen }
+
+// Config parameterizes an Agent. Zero fields take defaults.
+type Config struct {
+	// T0 is the observation period (default 20 s).
+	T0 time.Duration
+	// Alpha is the EWMA memory for K̄ (default 0.9).
+	Alpha float64
+	// Offset is the CUSUM offset a (default 0.35).
+	Offset float64
+	// Threshold is the CUSUM flooding threshold N (default 1.05).
+	Threshold float64
+	// MinK floors the K̄ normalizer to avoid division by ~0 on idle
+	// links (default 1 SYN/ACK per period).
+	MinK float64
+	// WarmupPeriods, if positive, lets the agent observe that many
+	// initial periods without feeding the CUSUM detector: K̄ primes
+	// and the traffic pipeline fills before decisions start. The
+	// first-mile SYN-SYN/ACK pairing settles within one RTT and needs
+	// no warm-up (default 0); the last-mile SYN-FIN pairing lags by a
+	// connection lifetime and benefits from a few periods.
+	WarmupPeriods int
+}
+
+func (c *Config) applyDefaults() {
+	if c.T0 == 0 {
+		c.T0 = DefaultObservationPeriod
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Offset == 0 {
+		c.Offset = cusum.DefaultOffset
+	}
+	if c.Threshold == 0 {
+		c.Threshold = cusum.DefaultThreshold
+	}
+	if c.MinK == 0 {
+		c.MinK = 1
+	}
+}
+
+// Report is the agent's record of one observation period.
+type Report struct {
+	// Index is the 0-based observation period number.
+	Index int
+	// End is the simulation/trace time at which the period closed.
+	End time.Duration
+	// OutSYN and InSYNACK are the period's packet counts.
+	OutSYN   uint64
+	InSYNACK uint64
+	// K is the EWMA estimate K̄ after folding in this period.
+	K float64
+	// X is the normalized observation Xn = Δn/K̄.
+	X float64
+	// Y is the CUSUM statistic yn after this observation.
+	Y float64
+	// Alarmed reports dN(yn), the detector decision.
+	Alarmed bool
+}
+
+// Alarm describes the first threshold crossing.
+type Alarm struct {
+	// Period is the observation-period index at which yn first
+	// exceeded N.
+	Period int
+	// At is the period-end time of the crossing.
+	At time.Duration
+	// Y is the statistic value at the crossing.
+	Y float64
+}
+
+// Agent is one SYN-dog instance at a leaf router.
+type Agent struct {
+	cfg      Config
+	outbound *Sniffer
+	inbound  *Sniffer
+	kBar     *cusum.EWMA
+	det      *cusum.Detector
+
+	reports []Report
+	alarm   *Alarm
+
+	// OnAlarm, if set, fires once at the first threshold crossing —
+	// the hook where source location (internal/mitigate) is triggered.
+	OnAlarm func(a Alarm)
+}
+
+// NewAgent builds a SYN-dog agent.
+func NewAgent(cfg Config) (*Agent, error) {
+	cfg.applyDefaults()
+	if cfg.T0 <= 0 {
+		return nil, errors.New("core: non-positive observation period")
+	}
+	if cfg.MinK <= 0 {
+		return nil, errors.New("core: non-positive MinK")
+	}
+	kBar, err := cusum.NewEWMA(cfg.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("core: alpha: %w", err)
+	}
+	det, err := cusum.New(cfg.Offset, cfg.Threshold)
+	if err != nil {
+		return nil, fmt.Errorf("core: detector: %w", err)
+	}
+	return &Agent{
+		cfg:      cfg,
+		outbound: NewSniffer(netsim.Outbound),
+		inbound:  NewSniffer(netsim.Inbound),
+		kBar:     kBar,
+		det:      det,
+	}, nil
+}
+
+// Config returns the agent's effective configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Observe counts one packet crossing the given interface. SYN-dog only
+// inspects the TCP flag bits: outgoing SYNs and incoming SYN/ACKs feed
+// the detector; other kinds are tallied for diagnostics.
+func (a *Agent) Observe(dir netsim.Direction, kind packet.Kind) {
+	switch dir {
+	case netsim.Outbound:
+		a.outbound.Count(kind)
+	case netsim.Inbound:
+		a.inbound.Count(kind)
+	}
+}
+
+// Tap adapts the agent to a netsim router tap.
+func (a *Agent) Tap() netsim.Tap {
+	return func(_ time.Duration, dir netsim.Direction, seg *packet.Segment) {
+		a.Observe(dir, seg.Kind())
+	}
+}
+
+// Install wires the agent onto a leaf router: it registers the packet
+// tap and starts the observation-period timer on sim. The returned
+// Periodic can stop the agent's clock.
+func (a *Agent) Install(sim *eventsim.Sim, router *netsim.LeafRouter) (*eventsim.Periodic, error) {
+	router.AddTap(a.Tap())
+	return sim.NewPeriodic(a.cfg.T0, func(now time.Duration) {
+		a.EndPeriod(now)
+	})
+}
+
+// EndPeriod closes the current observation period: both sniffers
+// report and reset, the EWMA and CUSUM update, and the period report
+// is appended and returned.
+func (a *Agent) EndPeriod(now time.Duration) Report {
+	out := a.outbound.Drain()
+	in := a.inbound.Drain()
+
+	k := a.kBar.Update(float64(in.SYNACK))
+	norm := k
+	if norm < a.cfg.MinK {
+		norm = a.cfg.MinK
+	}
+	delta := float64(out.SYN) - float64(in.SYNACK)
+	x := delta / norm
+
+	if len(a.reports) < a.cfg.WarmupPeriods {
+		// Warm-up: prime K̄ only; the detector sees nothing.
+		r := Report{
+			Index: len(a.reports), End: now,
+			OutSYN: out.SYN, InSYNACK: in.SYNACK,
+			K: k, X: x,
+		}
+		a.reports = append(a.reports, r)
+		return r
+	}
+	alarmed := a.det.Observe(x)
+
+	r := Report{
+		Index:    len(a.reports),
+		End:      now,
+		OutSYN:   out.SYN,
+		InSYNACK: in.SYNACK,
+		K:        k,
+		X:        x,
+		Y:        a.det.Statistic(),
+		Alarmed:  alarmed,
+	}
+	a.reports = append(a.reports, r)
+
+	if alarmed && a.alarm == nil {
+		al := Alarm{Period: r.Index, At: now, Y: r.Y}
+		a.alarm = &al
+		if a.OnAlarm != nil {
+			a.OnAlarm(al)
+		}
+	}
+	return r
+}
+
+// Reports returns all period reports so far. The returned slice is the
+// agent's own backing store; callers must not modify it.
+func (a *Agent) Reports() []Report { return a.reports }
+
+// Statistics returns the yn series, one value per period — the data
+// behind Figures 5, 7, 8 and 9.
+func (a *Agent) Statistics() []float64 {
+	ys := make([]float64, len(a.reports))
+	for i, r := range a.reports {
+		ys[i] = r.Y
+	}
+	return ys
+}
+
+// Alarmed reports whether the alarm has been raised.
+func (a *Agent) Alarmed() bool { return a.alarm != nil }
+
+// FirstAlarm returns a copy of the first alarm, or nil if none fired.
+func (a *Agent) FirstAlarm() *Alarm {
+	if a.alarm == nil {
+		return nil
+	}
+	al := *a.alarm
+	return &al
+}
+
+// KBar returns the current K̄ estimate.
+func (a *Agent) KBar() float64 { return a.kBar.Value() }
+
+// Reset clears the detector and the alarm but keeps K̄, modeling an
+// operator acknowledging an alarm while the traffic baseline persists.
+func (a *Agent) Reset() {
+	a.det.Reset()
+	a.alarm = nil
+}
+
+// Design exposes the agent's parameters as a cusum.Design for the
+// closed-form predictions (fmin, detection-time bound).
+func (a *Agent) Design() cusum.Design {
+	return cusum.Design{
+		Offset:      a.cfg.Offset,
+		MinIncrease: 2 * a.cfg.Offset, // paper's h = 2a design rule
+		Threshold:   a.cfg.Threshold,
+	}
+}
+
+// ProcessTrace replays a recorded trace through the agent: every
+// record is counted, and a period boundary fires each T0. The trailing
+// partial period is discarded, mirroring trace.Aggregate. It returns
+// the agent's accumulated period reports.
+func (a *Agent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
+	if tr.Span <= 0 {
+		return nil, errors.New("core: trace has no span")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	periods := int(tr.Span / a.cfg.T0)
+	if periods == 0 {
+		return nil, fmt.Errorf("core: trace span %v shorter than one period %v", tr.Span, a.cfg.T0)
+	}
+	next := a.cfg.T0 // end of the current period
+	done := 0
+	for _, r := range tr.Records {
+		for r.Ts >= next && done < periods {
+			a.EndPeriod(next)
+			next += a.cfg.T0
+			done++
+		}
+		if done >= periods {
+			break
+		}
+		a.Observe(toNetsimDir(r.Dir), r.Kind)
+	}
+	for done < periods {
+		a.EndPeriod(next)
+		next += a.cfg.T0
+		done++
+	}
+	return a.reports, nil
+}
+
+func toNetsimDir(d trace.Direction) netsim.Direction {
+	if d == trace.DirOut {
+		return netsim.Outbound
+	}
+	return netsim.Inbound
+}

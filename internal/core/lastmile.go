@@ -1,0 +1,136 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// LastMileAgent is the victim-side counterpart of the SYN-dog agent,
+// corresponding to the "Last-mile Sniffer" of Figure 6 and the
+// companion SYN-FIN detection mechanism: at the router in front of a
+// server farm it pairs incoming SYNs (connections opening) against
+// outgoing FINs and RSTs (connections closing). Under normal operation
+// every connection that opens eventually closes, so the normalized
+// difference is small; a flood opens half-connections that never
+// close, so the difference accumulates exactly like the source-side
+// statistic.
+//
+// The trade-off the two deployments embody (and the reason the paper
+// champions the first mile): the last-mile agent sees the *aggregate*
+// flood — high sensitivity, but the sources remain unknown and IP
+// traceback is still needed; the first-mile agent sees only its own
+// stub's slice V/A, but an alarm *is* the source location. The
+// ablation experiment "ablation-lastmile" quantifies this.
+//
+// Unlike SYN-SYN/ACK pairing (matched within one RTT), a FIN trails
+// its SYN by the whole connection lifetime, so {Xn} here is noisier
+// at short observation periods; the same non-parametric CUSUM absorbs
+// that because only the mean shift matters.
+type LastMileAgent struct {
+	agent *Agent
+}
+
+// NewLastMileAgent builds a victim-side agent with the same parameter
+// semantics as NewAgent.
+func NewLastMileAgent(cfg Config) (*LastMileAgent, error) {
+	a, err := NewAgent(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LastMileAgent{agent: a}, nil
+}
+
+// Observe counts one packet crossing the victim-side router. The
+// mapping into the underlying pair detector:
+//
+//   - inbound SYN       -> "opening" counter
+//   - outbound FIN/RST  -> "closing" counter
+//
+// The inner Agent's outbound sniffer holds openings and its inbound
+// sniffer holds closings, so Δn = openings − closings and K̄ tracks
+// the closing rate.
+func (l *LastMileAgent) Observe(dir netsim.Direction, kind packet.Kind) {
+	switch {
+	case dir == netsim.Inbound && kind == packet.KindSYN:
+		l.agent.outbound.Count(packet.KindSYN)
+	case dir == netsim.Outbound && (kind == packet.KindFIN || kind == packet.KindRST):
+		// RSTs also terminate connections; counting them prevents
+		// reset-heavy benign traffic from looking like a flood.
+		l.agent.inbound.Count(packet.KindSYNACK)
+	}
+}
+
+// Tap adapts the agent to a netsim router tap.
+func (l *LastMileAgent) Tap() netsim.Tap {
+	return func(_ time.Duration, dir netsim.Direction, seg *packet.Segment) {
+		l.Observe(dir, seg.Kind())
+	}
+}
+
+// EndPeriod closes the observation period; see Agent.EndPeriod.
+func (l *LastMileAgent) EndPeriod(now time.Duration) Report {
+	return l.agent.EndPeriod(now)
+}
+
+// ProcessTrace replays a victim-side trace: the trace's DirIn records
+// are packets arriving at the victim stub, DirOut records leaving it.
+func (l *LastMileAgent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	periods := int(tr.Span / l.agent.cfg.T0)
+	if periods == 0 {
+		return nil, errTraceTooShort(tr.Span, l.agent.cfg.T0)
+	}
+	next := l.agent.cfg.T0
+	done := 0
+	for _, r := range tr.Records {
+		for r.Ts >= next && done < periods {
+			l.EndPeriod(next)
+			next += l.agent.cfg.T0
+			done++
+		}
+		if done >= periods {
+			break
+		}
+		l.Observe(toNetsimDir(r.Dir), r.Kind)
+	}
+	for done < periods {
+		l.EndPeriod(next)
+		next += l.agent.cfg.T0
+		done++
+	}
+	return l.agent.reports, nil
+}
+
+// Alarmed reports whether the alarm has been raised.
+func (l *LastMileAgent) Alarmed() bool { return l.agent.Alarmed() }
+
+// FirstAlarm returns a copy of the first alarm, or nil.
+func (l *LastMileAgent) FirstAlarm() *Alarm { return l.agent.FirstAlarm() }
+
+// Statistics returns the yn series.
+func (l *LastMileAgent) Statistics() []float64 { return l.agent.Statistics() }
+
+// Reports returns the period reports.
+func (l *LastMileAgent) Reports() []Report { return l.agent.Reports() }
+
+// KBar returns the current closing-rate estimate.
+func (l *LastMileAgent) KBar() float64 { return l.agent.KBar() }
+
+func errTraceTooShort(span, t0 time.Duration) error {
+	return &traceTooShortError{span: span, t0: t0}
+}
+
+// traceTooShortError reports a trace shorter than one observation
+// period.
+type traceTooShortError struct {
+	span, t0 time.Duration
+}
+
+func (e *traceTooShortError) Error() string {
+	return "core: trace span " + e.span.String() + " shorter than one period " + e.t0.String()
+}

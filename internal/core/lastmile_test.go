@@ -1,0 +1,205 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+var (
+	victimAddr = netip.MustParseAddr("10.9.0.1")
+	clientAddr = netip.MustParseAddr("11.0.0.1")
+)
+
+// buildVictimTrace synthesizes a 10-minute victim-side trace: balanced
+// inbound SYNs / outbound FINs at 2/s for 5 minutes, then an inbound
+// SYN flood at 6/s with no closes.
+func buildVictimTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "victim", Span: 10 * time.Minute}
+	add := func(ts time.Duration, kind packet.Kind, dir trace.Direction) {
+		src, dst := clientAddr, victimAddr
+		if dir == trace.DirOut {
+			src, dst = victimAddr, clientAddr
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			Ts: ts, Kind: kind, Dir: dir, Src: src, Dst: dst, SrcPort: 9, DstPort: 80,
+		})
+	}
+	for s := 0; s < 600; s++ {
+		ts := time.Duration(s) * time.Second
+		for k := 0; k < 2; k++ {
+			off := time.Duration(k) * 400 * time.Millisecond
+			add(ts+off, packet.KindSYN, trace.DirIn)
+			add(ts+off+100*time.Millisecond, packet.KindFIN, trace.DirOut)
+		}
+		if s >= 300 { // flood onset at 5 minutes
+			for k := 0; k < 6; k++ {
+				add(ts+time.Duration(k)*150*time.Millisecond, packet.KindSYN, trace.DirIn)
+			}
+		}
+	}
+	tr.Sort()
+	return tr
+}
+
+func shortTrace() *trace.Trace {
+	return &trace.Trace{Name: "short", Span: time.Second}
+}
+
+// feedVictimPeriods drives the last-mile agent with per-period
+// (inboundSYN, outboundFIN) pairs.
+func feedVictimPeriods(l *LastMileAgent, pairs [][2]uint64) Report {
+	var last Report
+	for i, p := range pairs {
+		for j := uint64(0); j < p[0]; j++ {
+			l.Observe(netsim.Inbound, packet.KindSYN)
+		}
+		for j := uint64(0); j < p[1]; j++ {
+			l.Observe(netsim.Outbound, packet.KindFIN)
+		}
+		last = l.EndPeriod(time.Duration(i+1) * 20 * time.Second)
+	}
+	return last
+}
+
+func TestLastMileNormalOperationQuiet(t *testing.T) {
+	l, err := NewLastMileAgent(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([][2]uint64, 40)
+	for i := range pairs {
+		pairs[i] = [2]uint64{105, 100} // opens slightly lead closes
+	}
+	feedVictimPeriods(l, pairs)
+	if l.Alarmed() {
+		t.Fatal("false alarm on balanced open/close traffic")
+	}
+	if l.KBar() < 99 || l.KBar() > 101 {
+		t.Errorf("K̄ = %v, want ≈100", l.KBar())
+	}
+}
+
+func TestLastMileDetectsAggregateFlood(t *testing.T) {
+	l, _ := NewLastMileAgent(Config{})
+	benign := make([][2]uint64, 10)
+	for i := range benign {
+		benign[i] = [2]uint64{100, 100}
+	}
+	feedVictimPeriods(l, benign)
+	// Aggregate DDoS: +200 inbound SYNs per period never close.
+	flood := make([][2]uint64, 5)
+	for i := range flood {
+		flood[i] = [2]uint64{300, 100}
+	}
+	feedVictimPeriods(l, flood)
+	if !l.Alarmed() {
+		t.Fatal("aggregate flood not detected at the last mile")
+	}
+	al := l.FirstAlarm()
+	if al.Period < 10 {
+		t.Errorf("alarm period %d precedes the flood", al.Period)
+	}
+}
+
+func TestLastMileCountsRSTsAsCloses(t *testing.T) {
+	// Reset-heavy benign traffic (e.g. crawlers aborting) must not
+	// accumulate: RSTs close connections too.
+	l, _ := NewLastMileAgent(Config{})
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 100; j++ {
+			l.Observe(netsim.Inbound, packet.KindSYN)
+		}
+		for j := 0; j < 60; j++ {
+			l.Observe(netsim.Outbound, packet.KindFIN)
+		}
+		for j := 0; j < 40; j++ {
+			l.Observe(netsim.Outbound, packet.KindRST)
+		}
+		l.EndPeriod(time.Duration(i+1) * 20 * time.Second)
+	}
+	if l.Alarmed() {
+		t.Error("RST-closing traffic false-alarmed")
+	}
+}
+
+func TestLastMileIgnoresIrrelevantKinds(t *testing.T) {
+	l, _ := NewLastMileAgent(Config{})
+	// Outbound SYNs (victim's own clients) and inbound FINs must not
+	// feed the detector's counters.
+	for j := 0; j < 500; j++ {
+		l.Observe(netsim.Outbound, packet.KindSYN)
+		l.Observe(netsim.Inbound, packet.KindFIN)
+		l.Observe(netsim.Inbound, packet.KindSYNACK)
+	}
+	r := l.EndPeriod(20 * time.Second)
+	if r.OutSYN != 0 || r.InSYNACK != 0 {
+		t.Errorf("irrelevant kinds counted: %+v", r)
+	}
+}
+
+func TestLastMileProcessTrace(t *testing.T) {
+	// A victim-side trace: inbound SYNs at 2/s, outbound FINs at 2/s
+	// for 5 minutes, then a flood of inbound SYNs with no FINs.
+	tr := buildVictimTrace()
+	l, _ := NewLastMileAgent(Config{})
+	reports, err := l.ProcessTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 30 {
+		t.Fatalf("periods = %d, want 30", len(reports))
+	}
+	if !l.Alarmed() {
+		t.Fatal("trace-driven last-mile detection failed")
+	}
+	if al := l.FirstAlarm(); al.Period < 15 {
+		t.Errorf("alarm period %d precedes flood onset period 15", al.Period)
+	}
+}
+
+func TestLastMileProcessTraceValidation(t *testing.T) {
+	l, _ := NewLastMileAgent(Config{})
+	if _, err := l.ProcessTrace(shortTrace()); err == nil {
+		t.Error("too-short trace accepted")
+	}
+}
+
+func TestLastMileTap(t *testing.T) {
+	l, _ := NewLastMileAgent(Config{})
+	tap := l.Tap()
+	seg := packet.Build(clientAddr, victimAddr, 50000, 80, 1, 0, packet.FlagSYN)
+	tap(0, netsim.Inbound, &seg)
+	r := l.EndPeriod(20 * time.Second)
+	if r.OutSYN != 1 {
+		t.Errorf("tap did not count inbound SYN as opening: %+v", r)
+	}
+}
+
+func TestFlippedFloodFeedsLastMile(t *testing.T) {
+	// A source-side flood trace flipped into the victim view must
+	// register as inbound SYN openings.
+	src := &trace.Trace{Name: "flood", Span: time.Minute}
+	for i := 0; i < 300; i++ {
+		src.Records = append(src.Records, trace.Record{
+			Ts: time.Duration(i) * 200 * time.Millisecond, Kind: packet.KindSYN,
+			Dir: trace.DirOut, Src: clientAddr, Dst: victimAddr, DstPort: 80,
+		})
+	}
+	flipped := src.Flip()
+	l, _ := NewLastMileAgent(Config{})
+	reports, err := l.ProcessTrace(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].OutSYN == 0 {
+		t.Error("flipped flood not counted as openings")
+	}
+	if !l.Alarmed() {
+		t.Error("unanswered flood did not alarm the last mile")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshot is the agent's complete persistable state: enough to stop
+// a SYN-dog daemon and resume it (e.g. across a router reboot) without
+// losing the K̄ baseline, the accumulated CUSUM evidence, or the
+// period history. Counts inside the current (unfinished) observation
+// period are intentionally NOT persisted — the paper's statelessness
+// means losing a partial period costs at most one t0 of evidence.
+type Snapshot struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Config is the agent's effective configuration.
+	Config Config `json:"config"`
+	// KBar and KBarPrimed capture the EWMA estimator.
+	KBar       float64 `json:"kBar"`
+	KBarPrimed bool    `json:"kBarPrimed"`
+	// Y, AlarmLatched, Observations and OnsetIndex capture the CUSUM
+	// detector.
+	Y            float64 `json:"y"`
+	AlarmLatched bool    `json:"alarmLatched"`
+	Observations uint64  `json:"observations"`
+	OnsetIndex   uint64  `json:"onsetIndex"`
+	// Reports is the period history.
+	Reports []Report `json:"reports"`
+	// Alarm is the first alarm, if any.
+	Alarm *Alarm `json:"alarm,omitempty"`
+}
+
+// snapshotVersion is the current format version.
+const snapshotVersion = 1
+
+// ErrBadSnapshot reports an unusable snapshot.
+var ErrBadSnapshot = errors.New("core: invalid snapshot")
+
+// Snapshot captures the agent's state.
+func (a *Agent) Snapshot() Snapshot {
+	s := Snapshot{
+		Version:      snapshotVersion,
+		Config:       a.cfg,
+		KBar:         a.kBar.Value(),
+		KBarPrimed:   a.kBar.Primed(),
+		Y:            a.det.Statistic(),
+		AlarmLatched: a.det.Alarmed(),
+		Observations: a.det.Observations(),
+		OnsetIndex:   a.det.OnsetIndex(),
+		Reports:      append([]Report(nil), a.reports...),
+	}
+	if a.alarm != nil {
+		al := *a.alarm
+		s.Alarm = &al
+	}
+	return s
+}
+
+// RestoreAgent rebuilds an agent from a snapshot.
+func RestoreAgent(s Snapshot) (*Agent, error) {
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadSnapshot, s.Version, snapshotVersion)
+	}
+	a, err := NewAgent(s.Config)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := a.kBar.Restore(s.KBar, s.KBarPrimed); err != nil {
+		return nil, fmt.Errorf("%w: kBar: %v", ErrBadSnapshot, err)
+	}
+	if err := a.det.Restore(s.Y, s.AlarmLatched, s.Observations, s.OnsetIndex); err != nil {
+		return nil, fmt.Errorf("%w: detector: %v", ErrBadSnapshot, err)
+	}
+	a.reports = append([]Report(nil), s.Reports...)
+	if s.Alarm != nil {
+		al := *s.Alarm
+		a.alarm = &al
+	}
+	return a, nil
+}
+
+// WriteSnapshot serializes the agent's state as JSON.
+func (a *Agent) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Snapshot())
+}
+
+// ReadSnapshot deserializes and restores an agent.
+func ReadSnapshot(r io.Reader) (*Agent, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return RestoreAgent(s)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// primedAgent builds an agent with history: benign periods then a
+// half-accumulated flood.
+func primedAgent(t *testing.T) *Agent {
+	t.Helper()
+	a, err := NewAgent(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := make([][2]uint64, 10)
+	for i := range benign {
+		benign[i] = [2]uint64{100, 100}
+	}
+	feedPeriods(a, benign)
+	// Two flood periods: yn accumulates but has not crossed N yet.
+	feedPeriods(a, [][2]uint64{{150, 100}, {150, 100}})
+	if a.Alarmed() {
+		t.Fatal("setup should stop short of the alarm")
+	}
+	if a.Reports()[len(a.Reports())-1].Y <= 0 {
+		t.Fatal("setup should have accumulated evidence")
+	}
+	return a
+}
+
+func TestSnapshotRoundTripMidAccumulation(t *testing.T) {
+	orig := primedAgent(t)
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.KBar() != orig.KBar() {
+		t.Errorf("K̄ = %v, want %v", restored.KBar(), orig.KBar())
+	}
+	if len(restored.Reports()) != len(orig.Reports()) {
+		t.Errorf("reports = %d, want %d", len(restored.Reports()), len(orig.Reports()))
+	}
+	// The restored agent must continue accumulating from where the
+	// original left off: one more flood period alarms both equally.
+	contOrig := feedPeriods(orig, [][2]uint64{{170, 100}, {170, 100}})
+	contRest := feedPeriods(restored, [][2]uint64{{170, 100}, {170, 100}})
+	if contOrig.Y != contRest.Y {
+		t.Errorf("post-restore yn diverged: %v vs %v", contRest.Y, contOrig.Y)
+	}
+	if orig.Alarmed() != restored.Alarmed() {
+		t.Error("alarm outcomes diverged after restore")
+	}
+}
+
+func TestSnapshotPreservesAlarm(t *testing.T) {
+	a, _ := NewAgent(Config{})
+	feedPeriods(a, [][2]uint64{{500, 100}, {500, 100}})
+	if !a.Alarmed() {
+		t.Fatal("setup flood did not alarm")
+	}
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Alarmed() {
+		t.Error("alarm lost across restore")
+	}
+	origAl, restAl := a.FirstAlarm(), restored.FirstAlarm()
+	if restAl == nil || *restAl != *origAl {
+		t.Errorf("alarm detail = %+v, want %+v", restAl, origAl)
+	}
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	if _, err := RestoreAgent(Snapshot{Version: 99}); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := RestoreAgent(Snapshot{Version: 1, Config: Config{T0: -time.Second}}); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := RestoreAgent(Snapshot{Version: 1, Y: -5}); err == nil {
+		t.Error("negative statistic accepted")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}
+
+func TestSnapshotIsIndependentCopy(t *testing.T) {
+	a := primedAgent(t)
+	s := a.Snapshot()
+	// Mutating the snapshot's report slice must not touch the agent.
+	if len(s.Reports) == 0 {
+		t.Fatal("no reports in snapshot")
+	}
+	s.Reports[0].OutSYN = 999999
+	if a.Reports()[0].OutSYN == 999999 {
+		t.Error("snapshot shares backing store with the agent")
+	}
+}

@@ -1,0 +1,262 @@
+// Package cusum implements the non-parametric Cumulative Sum change
+// detector at the heart of SYN-dog (Section 3.2 of the paper), plus
+// the EWMA estimator used to normalize the observations and the closed
+// forms the paper derives for tuning (Eqs. 5, 7 and 8).
+//
+// The detector watches a normalized series
+//
+//	Xn = Δn / K̄,  Δn = #SYN(n) − #SYNACK(n)
+//
+// whose mean c is small under normal operation. With an offset a > c,
+// the shifted series X̃n = Xn − a has negative drift normally and
+// positive drift ≥ h − a during an attack. The test statistic
+//
+//	yn = (y(n−1) + X̃n)+              (Eq. 2)
+//
+// is the maximum continuous increment of the shifted partial sums
+// (Eq. 3); an alarm fires when yn > N (Eq. 4).
+//
+// The detector itself carries no per-connection state — just two
+// floats — which is what makes SYN-dog immune to flooding.
+package cusum
+
+import (
+	"errors"
+	"math"
+)
+
+// Paper-recommended universal parameters (Section 3.2): chosen to be
+// independent of network size and access pattern.
+const (
+	// DefaultOffset is a, the upper bound of E[Xn] under normal
+	// operation.
+	DefaultOffset = 0.35
+	// DefaultMinIncrease is h, the assumed lower bound of the increase
+	// in E[Xn] under attack; the paper's design rule is h = 2a.
+	DefaultMinIncrease = 0.7
+	// DefaultThreshold is N, chosen so the designed detection time is
+	// 3 observation periods when h = 2a and c = 0.
+	DefaultThreshold = 1.05
+)
+
+// ErrBadParam reports invalid detector or estimator parameters.
+var ErrBadParam = errors.New("cusum: invalid parameter")
+
+// Detector is the non-parametric CUSUM test. The zero value is not
+// configured; use New or NewDefault.
+type Detector struct {
+	offset    float64 // a
+	threshold float64 // N
+	y         float64 // yn, the test statistic
+	alarmed   bool
+	n         uint64 // observations consumed
+	onsetIdx  uint64 // observation index at which yn last left zero
+}
+
+// New builds a detector with offset a and alarm threshold N.
+func New(offset, threshold float64) (*Detector, error) {
+	if offset <= 0 || math.IsNaN(offset) || math.IsInf(offset, 0) {
+		return nil, ErrBadParam
+	}
+	if threshold <= 0 || math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+		return nil, ErrBadParam
+	}
+	return &Detector{offset: offset, threshold: threshold}, nil
+}
+
+// NewDefault builds a detector with the paper's universal parameters
+// (a = 0.35, N = 1.05).
+func NewDefault() *Detector {
+	d, err := New(DefaultOffset, DefaultThreshold)
+	if err != nil {
+		panic("cusum: default parameters invalid: " + err.Error())
+	}
+	return d
+}
+
+// Observe consumes one normalized observation Xn and returns the
+// decision dN(yn): true means the cumulative evidence crossed the
+// threshold (attack). The alarm latches: once raised it stays raised
+// until Reset, mirroring how the agent reports an ongoing attack.
+func (d *Detector) Observe(x float64) bool {
+	prev := d.y
+	d.y += x - d.offset
+	if d.y < 0 {
+		d.y = 0
+	}
+	if prev == 0 && d.y > 0 {
+		d.onsetIdx = d.n
+	}
+	d.n++
+	if d.y > d.threshold {
+		d.alarmed = true
+	}
+	return d.alarmed
+}
+
+// Statistic returns the current test statistic yn.
+func (d *Detector) Statistic() float64 { return d.y }
+
+// Alarmed reports whether the alarm has been raised.
+func (d *Detector) Alarmed() bool { return d.alarmed }
+
+// Observations returns how many samples the detector has consumed.
+func (d *Detector) Observations() uint64 { return d.n }
+
+// OnsetIndex returns the observation index at which the current
+// (nonzero) accumulation began — the detector's estimate of the attack
+// start. It is meaningful only while Statistic() > 0 or Alarmed().
+func (d *Detector) OnsetIndex() uint64 { return d.onsetIdx }
+
+// Offset returns the configured offset a.
+func (d *Detector) Offset() float64 { return d.offset }
+
+// Threshold returns the configured threshold N.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// Reset clears the statistic and the alarm, e.g. after an attack has
+// been handled. The observation counter keeps running.
+func (d *Detector) Reset() {
+	d.y = 0
+	d.alarmed = false
+}
+
+// Restore overwrites the detector's mutable state; used to resume a
+// persisted agent after a restart. The statistic must be non-negative.
+func (d *Detector) Restore(y float64, alarmed bool, observations, onsetIdx uint64) error {
+	if y < 0 || math.IsNaN(y) {
+		return ErrBadParam
+	}
+	d.y = y
+	d.alarmed = alarmed
+	d.n = observations
+	d.onsetIdx = onsetIdx
+	return nil
+}
+
+// EWMA is the recursive estimator of Eq. 1:
+//
+//	K(n) = α·K(n−1) + (1−α)·v(n)
+//
+// used to track the average number of SYN/ACKs per observation period.
+// α in (0,1) is the memory; larger α forgets more slowly.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA builds an estimator with memory alpha in (0, 1).
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, ErrBadParam
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Update folds one sample into the estimate and returns the new value.
+// The first sample initializes the estimate directly, avoiding a long
+// warm-up from zero.
+func (e *EWMA) Update(v float64) float64 {
+	if !e.primed {
+		e.value = v
+		e.primed = true
+		return e.value
+	}
+	e.value = e.alpha*e.value + (1-e.alpha)*v
+	return e.value
+}
+
+// Value returns the current estimate (0 before the first Update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one sample has been folded in.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Restore overwrites the estimator's state; used to resume a persisted
+// agent after a restart.
+func (e *EWMA) Restore(value float64, primed bool) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return ErrBadParam
+	}
+	e.value = value
+	e.primed = primed
+	return nil
+}
+
+// Design captures the closed-form relationships of Section 3.2 for
+// parameter selection and performance prediction.
+type Design struct {
+	// Offset is a, the normal-operation upper bound.
+	Offset float64
+	// MinIncrease is h, the assumed minimum mean increase under attack.
+	MinIncrease float64
+	// Threshold is N.
+	Threshold float64
+	// NormalMean is c = E[Xn] under normal operation (often taken 0).
+	NormalMean float64
+}
+
+// DefaultDesign returns the paper's universal design: a=0.35, h=2a,
+// N=1.05, c=0.
+func DefaultDesign() Design {
+	return Design{
+		Offset:      DefaultOffset,
+		MinIncrease: DefaultMinIncrease,
+		Threshold:   DefaultThreshold,
+		NormalMean:  0,
+	}
+}
+
+// DetectionTime returns the conservative (upper-bound) detection delay
+// in observation periods after an attack starts (Eq. 7):
+//
+//	τ − m ≈ N·γ,  γ = 1/(h − |c − a|)
+//
+// It returns +Inf when the attack drift h does not overcome the
+// offset, i.e. the attack is below the detectable floor.
+func (d Design) DetectionTime() float64 {
+	drift := d.MinIncrease - math.Abs(d.NormalMean-d.Offset)
+	if drift <= 0 {
+		return math.Inf(1)
+	}
+	return d.Threshold / drift
+}
+
+// DetectionTimeFor returns the expected detection delay, in
+// observation periods, for an actual per-period attack intensity
+// deltaX = (flood SYNs per period)/K̄ — i.e. the paper's Eq. 7 with h
+// replaced by the true drift.
+func (d Design) DetectionTimeFor(deltaX float64) float64 {
+	drift := deltaX - math.Abs(d.NormalMean-d.Offset)
+	if drift <= 0 {
+		return math.Inf(1)
+	}
+	return d.Threshold / drift
+}
+
+// MinFloodRate returns fmin of Eq. 8, the lower bound of detection
+// sensitivity in SYN packets/second, given the average SYN/ACK count
+// per observation period K̄ and the observation period in seconds:
+//
+//	fmin = (a − c)·K̄ / t0
+//
+// A flood below this rate never builds positive drift and is invisible
+// to the detector (at any response time).
+func (d Design) MinFloodRate(kBar, observationSeconds float64) float64 {
+	if observationSeconds <= 0 {
+		return math.Inf(1)
+	}
+	return (d.Offset - d.NormalMean) * kBar / observationSeconds
+}
+
+// FalseAlarmExponent returns the exponent factor in Eq. 5: the
+// probability of a false alarm decays as c1·exp(−c2·N), so the mean
+// time between false alarms grows exponentially with N. The constants
+// c1, c2 depend on the marginal distribution and mixing coefficients
+// of the observations and "play a secondary role"; this helper simply
+// exposes the exp(−c2·N) shape for a caller-supplied c2 so tests and
+// docs can reason about the trend.
+func (d Design) FalseAlarmExponent(c2 float64) float64 {
+	return math.Exp(-c2 * d.Threshold)
+}

@@ -1,0 +1,41 @@
+package cusum_test
+
+import (
+	"fmt"
+
+	"repro/internal/cusum"
+)
+
+// ExampleDetector demonstrates the bare CUSUM rule on a normalized
+// observation stream.
+func ExampleDetector() {
+	d := cusum.NewDefault() // a = 0.35, N = 1.05
+	quiet := []float64{0.02, 0.05, 0.01, 0.08, 0.03}
+	for _, x := range quiet {
+		d.Observe(x)
+	}
+	fmt.Printf("quiet: yn = %.2f, alarmed = %v\n", d.Statistic(), d.Alarmed())
+
+	// Attack: the normalized SYN excess jumps to 0.7 (= h = 2a).
+	for i := 0; i < 4; i++ {
+		d.Observe(0.7)
+	}
+	fmt.Printf("flood: yn = %.2f, alarmed = %v\n", d.Statistic(), d.Alarmed())
+
+	// Output:
+	// quiet: yn = 0.00, alarmed = false
+	// flood: yn = 1.40, alarmed = true
+}
+
+// ExampleDesign shows the paper's closed-form tuning helpers.
+func ExampleDesign() {
+	des := cusum.DefaultDesign()
+	fmt.Printf("designed detection time: %.0f periods\n", des.DetectionTime())
+	fmt.Printf("UNC floor (K=2114/20s): %.0f SYN/s\n", des.MinFloodRate(2114, 20))
+	fmt.Printf("Auckland floor (K=100/20s): %.2f SYN/s\n", des.MinFloodRate(100, 20))
+
+	// Output:
+	// designed detection time: 3 periods
+	// UNC floor (K=2114/20s): 37 SYN/s
+	// Auckland floor (K=100/20s): 1.75 SYN/s
+}

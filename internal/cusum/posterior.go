@@ -1,0 +1,135 @@
+package cusum
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// This file implements the posterior (off-line) change detection that
+// Section 3.2 contrasts with the sequential test SYN-dog uses:
+// "Posterior tests are done off-line where the whole data segment is
+// collected first and then a decision about homogeneity is made based
+// on the analysis of all the collected data." The repository includes
+// it so the ablation experiments can quantify the trade the paper
+// makes — the posterior test localizes the change accurately but only
+// after the whole segment is in hand, while the sequential test
+// answers during the attack.
+//
+// The detector is the classical CUSUM-of-deviations permutation test
+// (a standard non-parametric posterior test): the change-point
+// estimate is the argmax of |S_k|, S_k = Σ_{i<=k}(x_i − x̄), and
+// significance comes from comparing range(S) against its permutation
+// distribution.
+
+// ErrTooShort reports a series too short for posterior analysis.
+var ErrTooShort = errors.New("cusum: series too short for posterior test")
+
+// PosteriorResult is the outcome of an off-line homogeneity test.
+type PosteriorResult struct {
+	// Change reports whether the series is judged non-homogeneous.
+	Change bool
+	// Index is the estimated change point: the last index of the
+	// pre-change segment (meaningful only when Change).
+	Index int
+	// Confidence is the bootstrap confidence that a change exists,
+	// in [0, 1].
+	Confidence float64
+	// Magnitude is the estimated mean shift across the change point.
+	Magnitude float64
+}
+
+// PosteriorConfig parameterizes PosteriorDetect.
+type PosteriorConfig struct {
+	// Permutations is the number of shuffles in the significance test
+	// (default 500).
+	Permutations int
+	// Confidence is the decision threshold on bootstrap confidence
+	// (default 0.95).
+	Confidence float64
+	// Seed drives the permutation shuffles.
+	Seed int64
+}
+
+func (c *PosteriorConfig) applyDefaults() {
+	if c.Permutations == 0 {
+		c.Permutations = 500
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+}
+
+// PosteriorDetect runs the off-line homogeneity test over the whole
+// series.
+func PosteriorDetect(xs []float64, cfg PosteriorConfig) (PosteriorResult, error) {
+	cfg.applyDefaults()
+	n := len(xs)
+	if n < 8 {
+		return PosteriorResult{}, ErrTooShort
+	}
+
+	observedRange, changeIdx := cusumRange(xs)
+
+	// Permutation test: how often does a random shuffle produce a
+	// CUSUM range at least as extreme?
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shuffled := make([]float64, n)
+	copy(shuffled, xs)
+	atLeast := 0
+	for p := 0; p < cfg.Permutations; p++ {
+		rng.Shuffle(n, func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		r, _ := cusumRange(shuffled)
+		if r >= observedRange {
+			atLeast++
+		}
+	}
+	confidence := 1 - float64(atLeast)/float64(cfg.Permutations)
+
+	res := PosteriorResult{
+		Index:      changeIdx,
+		Confidence: confidence,
+		Change:     confidence >= cfg.Confidence,
+	}
+	if changeIdx >= 0 && changeIdx < n-1 {
+		pre := mean(xs[:changeIdx+1])
+		post := mean(xs[changeIdx+1:])
+		res.Magnitude = post - pre
+	}
+	return res, nil
+}
+
+// cusumRange returns the range of the mean-adjusted cumulative sums
+// and the argmax index of |S_k| (the change-point estimator).
+func cusumRange(xs []float64) (r float64, argmax int) {
+	m := mean(xs)
+	var cum, minS, maxS, maxAbs float64
+	argmax = -1
+	for i, x := range xs {
+		cum += x - m
+		if cum < minS {
+			minS = cum
+		}
+		if cum > maxS {
+			maxS = cum
+		}
+		if a := math.Abs(cum); a > maxAbs {
+			maxAbs = a
+			argmax = i
+		}
+	}
+	return maxS - minS, argmax
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

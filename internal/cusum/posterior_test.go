@@ -1,0 +1,128 @@
+package cusum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// series builds n0 pre-change samples around mu0 and n1 post-change
+// samples around mu1 with gaussian noise sigma.
+func series(rng *rand.Rand, n0, n1 int, mu0, mu1, sigma float64) []float64 {
+	out := make([]float64, 0, n0+n1)
+	for i := 0; i < n0; i++ {
+		out = append(out, mu0+sigma*rng.NormFloat64())
+	}
+	for i := 0; i < n1; i++ {
+		out = append(out, mu1+sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestPosteriorDetectsMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := series(rng, 60, 30, 0.05, 0.75, 0.1)
+	res, err := PosteriorDetect(xs, PosteriorConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Change {
+		t.Fatalf("obvious change not detected (confidence %.3f)", res.Confidence)
+	}
+	// Change-point estimate should land near index 59.
+	if res.Index < 54 || res.Index > 64 {
+		t.Errorf("change index = %d, want ≈59", res.Index)
+	}
+	if res.Magnitude < 0.5 || res.Magnitude > 0.9 {
+		t.Errorf("magnitude = %v, want ≈0.7", res.Magnitude)
+	}
+}
+
+func TestPosteriorQuietOnHomogeneousSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	falsePositives := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		xs := series(rng, 80, 0, 0.1, 0, 0.1)
+		res, err := PosteriorDetect(xs, PosteriorConfig{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Change {
+			falsePositives++
+		}
+	}
+	// At 95% confidence a handful of false positives in 20 trials
+	// would indicate a broken test statistic.
+	if falsePositives > 3 {
+		t.Errorf("false positives = %d/%d at 95%% confidence", falsePositives, trials)
+	}
+}
+
+func TestPosteriorTooShort(t *testing.T) {
+	if _, err := PosteriorDetect(make([]float64, 5), PosteriorConfig{}); err != ErrTooShort {
+		t.Errorf("error = %v, want ErrTooShort", err)
+	}
+}
+
+func TestPosteriorDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := series(rng, 40, 20, 0, 0.5, 0.2)
+	a, err := PosteriorDetect(xs, PosteriorConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PosteriorDetect(xs, PosteriorConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestPosteriorVsSequentialTradeoff(t *testing.T) {
+	// The paper's §3.2 argument, quantified: on the same flood series
+	// the sequential test answers DURING the attack (a few periods
+	// after onset) while the posterior test needs the full segment —
+	// but localizes the onset more precisely than the sequential
+	// alarm time does.
+	rng := rand.New(rand.NewSource(5))
+	const onset = 50
+	xs := series(rng, onset, 40, 0.05, 0.8, 0.08)
+
+	// Sequential (SYN-dog rule).
+	seq := NewDefault()
+	alarmAt := -1
+	for i, x := range xs {
+		if seq.Observe(x) && alarmAt < 0 {
+			alarmAt = i
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("sequential test missed the flood")
+	}
+	seqDelay := alarmAt - (onset - 1)
+	if seqDelay < 1 || seqDelay > 6 {
+		t.Errorf("sequential delay = %d periods, want a few", seqDelay)
+	}
+
+	// Posterior (whole segment needed).
+	post, err := PosteriorDetect(xs, PosteriorConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !post.Change {
+		t.Fatal("posterior test missed the flood")
+	}
+	postError := abs(post.Index - (onset - 1))
+	if postError > seqDelay {
+		t.Errorf("posterior localization error %d should beat sequential delay %d", postError, seqDelay)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

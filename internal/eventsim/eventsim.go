@@ -1,0 +1,223 @@
+// Package eventsim is a small discrete-event simulation kernel: a
+// virtual clock and a priority queue of timestamped events. The
+// network simulator (internal/netsim) and the TCP endpoint substrate
+// (internal/tcp) are built on it.
+//
+// The kernel is deliberately single-threaded: determinism matters more
+// than parallelism for reproducing the paper's trace-driven
+// experiments, so all events execute sequentially in timestamp order
+// with FIFO tie-breaking (insertion order breaks timestamp ties, which
+// keeps co-timed events deterministic).
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Handler is the callback invoked when an event fires. It runs on the
+// simulation goroutine; it may schedule further events.
+type Handler func(now time.Duration)
+
+// ErrPastEvent reports an attempt to schedule an event before the
+// current simulation time.
+var ErrPastEvent = errors.New("eventsim: cannot schedule event in the past")
+
+// event is one pending callback.
+type event struct {
+	at     time.Duration
+	seq    uint64 // FIFO tie-break
+	fn     Handler
+	cancel bool
+	index  int // heap index, maintained by heap.Interface
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event, usable to cancel it.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// or already-cancelled timer is a no-op returning false; otherwise
+// Cancel marks the event dead and returns true.
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.cancel || t.ev.fn == nil {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// Sim is the simulation kernel. The zero value is ready to use; the
+// clock starts at 0.
+type Sim struct {
+	now       time.Duration
+	queue     eventQueue
+	seq       uint64
+	processed uint64
+}
+
+// New returns an empty simulation.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled ones that have not been reaped yet.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute simulation time at. It
+// returns a Timer for cancellation, and ErrPastEvent if at precedes
+// the current time.
+func (s *Sim) At(at time.Duration, fn Handler) (Timer, error) {
+	if at < s.now {
+		return Timer{}, ErrPastEvent
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Timer{ev: ev}, nil
+}
+
+// After schedules fn to run delay after the current time. Negative
+// delays are clamped to zero (fire "now", after currently queued
+// co-timed events).
+func (s *Sim) After(delay time.Duration, fn Handler) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	t, _ := s.At(s.now+delay, fn) // cannot fail: s.now+delay >= s.now
+	return t
+}
+
+// Step executes the single earliest pending event. It returns false
+// when the queue is empty. Cancelled events are skipped (and counted
+// as not-run).
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.processed++
+		fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. It returns the number of
+// events executed.
+func (s *Sim) Run() uint64 {
+	start := s.processed
+	for s.Step() {
+	}
+	return s.processed - start
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock exactly to deadline (so repeated RunUntil calls see a
+// monotone clock even across empty stretches). It returns the number
+// of events executed.
+func (s *Sim) RunUntil(deadline time.Duration) uint64 {
+	start := s.processed
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if deadline > s.now {
+		s.now = deadline
+	}
+	return s.processed - start
+}
+
+// Periodic is a repeating timer, e.g. the SYN-dog observation-period
+// tick, that can be stopped as a whole.
+type Periodic struct {
+	sim      *Sim
+	interval time.Duration
+	fn       Handler
+	stopped  bool
+	next     Timer
+}
+
+// NewPeriodic starts a repeating timer firing every interval starting
+// at now+interval.
+func (s *Sim) NewPeriodic(interval time.Duration, fn Handler) (*Periodic, error) {
+	if interval <= 0 {
+		return nil, errors.New("eventsim: non-positive interval")
+	}
+	p := &Periodic{sim: s, interval: interval, fn: fn}
+	p.schedule()
+	return p, nil
+}
+
+func (p *Periodic) schedule() {
+	p.next = p.sim.After(p.interval, func(now time.Duration) {
+		if p.stopped {
+			return
+		}
+		p.fn(now)
+		if !p.stopped {
+			p.schedule()
+		}
+	})
+}
+
+// Stop halts the periodic timer. Idempotent.
+func (p *Periodic) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	p.next.Cancel()
+}

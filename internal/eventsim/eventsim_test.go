@@ -1,0 +1,261 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunExecutesInTimestampOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	s.After(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	s.After(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	n := s.Run()
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("final clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("co-timed events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAtRejectsPast(t *testing.T) {
+	s := New()
+	s.After(5*time.Second, func(time.Duration) {})
+	s.Run() // clock now at 5s
+	if _, err := s.At(time.Second, func(time.Duration) {}); err != ErrPastEvent {
+		t.Errorf("error = %v, want ErrPastEvent", err)
+	}
+	if _, err := s.At(5*time.Second, func(time.Duration) {}); err != nil {
+		t.Errorf("scheduling at current time failed: %v", err)
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(-time.Second, func(now time.Duration) {
+		fired = true
+		if now != 0 {
+			t.Errorf("fired at %v, want 0", now)
+		}
+	})
+	s.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+}
+
+func TestHandlerSchedulesMoreEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var chain Handler
+	chain = func(now time.Duration) {
+		count++
+		if count < 5 {
+			s.After(time.Second, chain)
+		}
+	}
+	s.After(time.Second, chain)
+	s.Run()
+	if count != 5 {
+		t.Errorf("chain executed %d times, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Second, func(time.Duration) { fired = true })
+	if !tm.Cancel() {
+		t.Error("first Cancel should return true")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should return false")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Processed() != 0 {
+		t.Errorf("Processed = %d, want 0", s.Processed())
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	tm := s.After(time.Second, func(time.Duration) {})
+	s.Run()
+	if tm.Cancel() {
+		t.Error("Cancel after firing should return false")
+	}
+}
+
+func TestCancelZeroTimer(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() {
+		t.Error("zero Timer Cancel should return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		s.After(d, func(now time.Duration) { fired = append(fired, now) })
+	}
+	n := s.RunUntil(3 * time.Second)
+	if n != 3 {
+		t.Errorf("executed %d events, want 3", n)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	// Advancing to a quiet deadline moves the clock with no events.
+	if n := s.RunUntil(3500 * time.Millisecond); n != 0 {
+		t.Errorf("quiet advance executed %d events", n)
+	}
+	if s.Now() != 3500*time.Millisecond {
+		t.Errorf("clock = %v, want 3.5s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Errorf("total fired = %d, want 5", len(fired))
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	s := New()
+	tm := s.After(time.Second, func(time.Duration) { t.Error("cancelled fired") })
+	fired := false
+	s.After(2*time.Second, func(time.Duration) { fired = true })
+	tm.Cancel()
+	s.RunUntil(5 * time.Second)
+	if !fired {
+		t.Error("live event did not fire")
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	p, err := s.NewPeriodic(20*time.Second, func(now time.Duration) {
+		times = append(times, now)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(110 * time.Second)
+	if len(times) != 5 {
+		t.Fatalf("fired %d times, want 5: %v", len(times), times)
+	}
+	for i, ts := range times {
+		want := time.Duration(i+1) * 20 * time.Second
+		if ts != want {
+			t.Errorf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+	p.Stop()
+	before := len(times)
+	s.RunUntil(500 * time.Second)
+	if len(times) != before {
+		t.Error("periodic fired after Stop")
+	}
+	p.Stop() // idempotent
+}
+
+func TestPeriodicStopDuringCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var p *Periodic
+	var err error
+	p, err = s.NewPeriodic(time.Second, func(time.Duration) {
+		count++
+		if count == 3 {
+			p.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100 * time.Second)
+	if count != 3 {
+		t.Errorf("fired %d times, want 3", count)
+	}
+}
+
+func TestPeriodicBadInterval(t *testing.T) {
+	s := New()
+	if _, err := s.NewPeriodic(0, func(time.Duration) {}); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := s.NewPeriodic(-time.Second, func(time.Duration) {}); err == nil {
+		t.Error("negative interval should fail")
+	}
+}
+
+// Property: for any batch of non-negative delays, Run fires them all
+// in non-decreasing time order and leaves the clock at the max delay.
+func TestRunOrderProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		s := New()
+		var fired []time.Duration
+		var maxDelay time.Duration
+		for _, raw := range delaysRaw {
+			d := time.Duration(raw) * time.Millisecond
+			if d > maxDelay {
+				maxDelay = d
+			}
+			s.After(d, func(now time.Duration) { fired = append(fired, now) })
+		}
+		s.Run()
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == 0 || s.Now() == maxDelay
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

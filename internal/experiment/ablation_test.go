@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationRegistry(t *testing.T) {
+	reg := AblationRegistry()
+	if len(reg) != 10 {
+		t.Fatalf("ablation registry has %d entries, want 10", len(reg))
+	}
+	for _, e := range reg {
+		if !strings.HasPrefix(e.ID, "ablation-") {
+			t.Errorf("ablation id %q missing prefix", e.ID)
+		}
+		if e.Func == nil {
+			t.Errorf("%s has no generator", e.ID)
+		}
+	}
+	if _, ok := LookupAny("ablation-pattern"); !ok {
+		t.Error("LookupAny misses ablations")
+	}
+	if _, ok := LookupAny("table2"); !ok {
+		t.Error("LookupAny misses paper artifacts")
+	}
+	if _, ok := LookupAny("nope"); ok {
+		t.Error("LookupAny invents experiments")
+	}
+}
+
+func TestEveryAblationRunsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are Monte-Carlo heavy")
+	}
+	for _, e := range AblationRegistry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			arts, err := e.Func(fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(arts) == 0 {
+				t.Fatal("no artifacts")
+			}
+			for _, a := range arts {
+				var buf bytes.Buffer
+				if err := a.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestAblationPatternInsensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo heavy")
+	}
+	arts, err := AblationPattern(Options{Seed: 3, Runs: 3, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := arts[0].(*Table)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 patterns", len(tbl.Rows))
+	}
+	// The paper's claim: every equal-volume pattern is detected.
+	for _, row := range tbl.Rows {
+		prob, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prob < 1 {
+			t.Errorf("pattern %q detection prob = %v, want 1.0", row[0], prob)
+		}
+	}
+}
+
+func TestAblationStateGrowsLinearly(t *testing.T) {
+	arts, err := AblationState(Options{Seed: 1, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := arts[0].(*Table)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// SYN-dog state must be constant while the stateful defense grows.
+	var prevEntries int
+	for _, row := range tbl.Rows {
+		if row[1] != "8" {
+			t.Errorf("SYN-dog state = %s words, want constant 8", row[1])
+		}
+		entries, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entries <= prevEntries {
+			t.Errorf("stateful entries not growing: %d after %d", entries, prevEntries)
+		}
+		prevEntries = entries
+	}
+}

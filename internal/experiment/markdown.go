@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table,
+// ready to paste into EXPERIMENTS.md-style documents.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**%s — %s**\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = escapeMarkdown(row[i])
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteMarkdown renders the figure as a markdown section: a per-series
+// summary table (n, min, max, last) over the plotted data. The full
+// series stays in the CSV output; markdown gets the shape summary a
+// reader can check at a glance.
+func (f *Figure) WriteMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**%s — %s**\n\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "x: %s, y: %s\n\n", f.XLabel, f.YLabel)
+	sb.WriteString("| series | points | min y | max y | final y |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, s := range f.Series {
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, y := range s.Y {
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+		last := math.NaN()
+		if len(s.Y) > 0 {
+			last = s.Y[len(s.Y)-1]
+		}
+		if len(s.Y) == 0 {
+			minY, maxY = math.NaN(), math.NaN()
+		}
+		fmt.Fprintf(&sb, "| %s | %d | %.4g | %.4g | %.4g |\n",
+			escapeMarkdown(s.Label), len(s.X), minY, maxY, last)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// escapeMarkdown protects table-breaking characters in cell content.
+func escapeMarkdown(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// MarkdownArtifact is implemented by artifacts that can render
+// themselves as markdown.
+type MarkdownArtifact interface {
+	Artifact
+	WriteMarkdown(w io.Writer) error
+}
+
+// Compile-time checks.
+var (
+	_ MarkdownArtifact = (*Table)(nil)
+	_ MarkdownArtifact = (*Figure)(nil)
+)

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID:      "t1",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "x|y"}, {"2", "z"}},
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"**t1 — demo**",
+		"| a | b |",
+		"|---|---|",
+		"| 1 | x\\|y |", // pipe escaped
+		"| 2 | z |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdownPadsShortRows(t *testing.T) {
+	tbl := &Table{ID: "t", Title: "x", Columns: []string{"a", "b", "c"},
+		Rows: [][]string{{"only"}}}
+	var buf bytes.Buffer
+	if err := tbl.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| only |  |  |") {
+		t.Errorf("short row not padded:\n%s", buf.String())
+	}
+}
+
+func TestFigureMarkdown(t *testing.T) {
+	fig := &Figure{
+		ID: "f1", Title: "demo fig", XLabel: "t", YLabel: "y",
+		Series: []Series{
+			{Label: "s1", X: []float64{0, 1, 2}, Y: []float64{0, 2, 1}},
+			{Label: "empty"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| s1 | 3 | 0 | 2 | 1 |") {
+		t.Errorf("series summary wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| empty | 0 | NaN | NaN | NaN |") {
+		t.Errorf("empty series summary wrong:\n%s", out)
+	}
+}
+
+func TestEveryArtifactHasMarkdown(t *testing.T) {
+	// Every registered experiment's artifacts must render as markdown
+	// (the -md flag promises this).
+	arts, err := Table1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arts {
+		ma, ok := a.(MarkdownArtifact)
+		if !ok {
+			t.Fatalf("%T lacks markdown", a)
+		}
+		var buf bytes.Buffer
+		if err := ma.WriteMarkdown(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Error("empty markdown")
+		}
+	}
+}

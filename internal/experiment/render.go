@@ -1,0 +1,193 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (Section 4): the trace-feature summary (Table 1), the
+// SYN-SYN/ACK dynamics (Figures 3-4), the CUSUM statistic under normal
+// operation (Figure 5), the detection-performance tables at UNC and
+// Auckland (Tables 2-3), the flood-sensitivity figures (Figures 7-8)
+// and the site-tuned sensitivity improvement (Figure 9).
+//
+// Experiments are addressed by id ("table2", "fig5", ...) through
+// Registry, which cmd/experiment and the benchmarks share, so the
+// binary and `go test -bench` regenerate identical artifacts.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a rendered result table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a rendered result figure: one or more series over a common
+// axis semantic.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteCSV writes the figure's data in long form:
+// series,x,y — directly consumable by any plotting tool.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Label, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// plotWidth/plotHeight size the ASCII rendering.
+const (
+	plotWidth  = 72
+	plotHeight = 16
+)
+
+// Render writes a compact ASCII plot of every series plus a data
+// summary, enough to eyeball the shape the paper's figure shows.
+func (f *Figure) Render(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "  y: %s, x: %s\n", f.YLabel, f.XLabel)
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		sb.WriteString("  (no data)\n")
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@'}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(plotWidth-1))
+			row := plotHeight - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(plotHeight-1))
+			if col >= 0 && col < plotWidth && row >= 0 && row < plotHeight {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for i, line := range grid {
+		yAxis := ymax - (ymax-ymin)*float64(i)/float64(plotHeight-1)
+		fmt.Fprintf(&sb, "  %10.3f |%s\n", yAxis, string(line))
+	}
+	fmt.Fprintf(&sb, "  %10s +%s\n", "", strings.Repeat("-", plotWidth))
+	fmt.Fprintf(&sb, "  %10s  %-10.3f%*s\n", "", xmin, plotWidth-10, fmt.Sprintf("%.3f", xmax))
+	for si, s := range f.Series {
+		ymaxS := math.Inf(-1)
+		for _, y := range s.Y {
+			ymaxS = math.Max(ymaxS, y)
+		}
+		fmt.Fprintf(&sb, "  [%c] %-24s n=%-5d max(y)=%.4g\n",
+			marks[si%len(marks)], s.Label, len(s.X), ymaxS)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var sb strings.Builder
+	_ = f.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,294 @@
+// Package flood generates SYN flooding traffic: spoofed-source SYN
+// streams in trace form (for the paper's trace-driven experiments,
+// Figure 6) and live form (scheduled onto simulated hosts for the
+// end-to-end examples), plus the DDoS campaign arithmetic of
+// Section 4.2.
+//
+// The paper's detection argument is volume-based: the CUSUM detector
+// is insensitive to the flooding pattern, caring only about total
+// volume per observation period. To let experiments verify that claim
+// the package provides constant, bursty (ON/OFF) and ramp patterns
+// behind one Pattern interface.
+package flood
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// Empirical flood-rate landmarks from the paper (Section 3.1, citing
+// [8]): the minimum rate that overwhelms an unprotected server, and
+// the rate needed against a specialized anti-SYN-flood firewall.
+const (
+	// MinRateUnprotected is V for an unprotected server, SYN/s.
+	MinRateUnprotected = 500
+	// MinRateProtected is V for a firewall-protected server, SYN/s.
+	MinRateProtected = 14000
+)
+
+// Pattern gives the instantaneous flooding rate (SYN/s) at offset t
+// from the flood start. Rates must be non-negative and bounded by
+// Peak().
+type Pattern interface {
+	// Rate returns the instantaneous rate at offset t.
+	Rate(t time.Duration) float64
+	// Peak returns an upper bound of Rate over the flood duration.
+	Peak() float64
+	// Mean returns the long-run average rate.
+	Mean() float64
+}
+
+// Constant floods at a fixed rate — the paper's default ("without
+// loss of generality, we assume that the flooding rate is constant").
+type Constant struct {
+	// PerSecond is the flooding rate in SYN/s.
+	PerSecond float64
+}
+
+// Rate implements Pattern.
+func (c Constant) Rate(time.Duration) float64 { return c.PerSecond }
+
+// Peak implements Pattern.
+func (c Constant) Peak() float64 { return c.PerSecond }
+
+// Mean implements Pattern.
+func (c Constant) Mean() float64 { return c.PerSecond }
+
+// Bursty alternates between PeakRate during On windows and silence
+// during Off windows, modeling pulsing DDoS tools.
+type Bursty struct {
+	PeakRate float64
+	On, Off  time.Duration
+}
+
+// Rate implements Pattern.
+func (b Bursty) Rate(t time.Duration) float64 {
+	cycle := b.On + b.Off
+	if cycle <= 0 {
+		return 0
+	}
+	if t%cycle < b.On {
+		return b.PeakRate
+	}
+	return 0
+}
+
+// Peak implements Pattern.
+func (b Bursty) Peak() float64 { return b.PeakRate }
+
+// Mean implements Pattern.
+func (b Bursty) Mean() float64 {
+	cycle := b.On + b.Off
+	if cycle <= 0 {
+		return 0
+	}
+	return b.PeakRate * float64(b.On) / float64(cycle)
+}
+
+// Ramp grows linearly from StartRate to EndRate over Span, modeling a
+// botnet spinning up slaves gradually.
+type Ramp struct {
+	StartRate, EndRate float64
+	Span               time.Duration
+}
+
+// Rate implements Pattern.
+func (r Ramp) Rate(t time.Duration) float64 {
+	if r.Span <= 0 {
+		return r.EndRate
+	}
+	if t < 0 {
+		return r.StartRate
+	}
+	if t >= r.Span {
+		return r.EndRate
+	}
+	frac := float64(t) / float64(r.Span)
+	return r.StartRate + (r.EndRate-r.StartRate)*frac
+}
+
+// Peak implements Pattern.
+func (r Ramp) Peak() float64 { return math.Max(r.StartRate, r.EndRate) }
+
+// Mean implements Pattern.
+func (r Ramp) Mean() float64 { return (r.StartRate + r.EndRate) / 2 }
+
+// Config describes one flooding source inside one stub network.
+type Config struct {
+	// Start is the flood onset relative to trace start.
+	Start time.Duration
+	// Duration is how long the flood lasts (the paper uses 10 minutes,
+	// "a typical attacking duration observed in the Internet" [18]).
+	Duration time.Duration
+	// Pattern shapes the rate; Constant{fi} reproduces the paper.
+	Pattern Pattern
+	// Victim is the target address and port.
+	Victim     netip.Addr
+	VictimPort uint16
+	// SpoofPrefix is the block spoofed sources are drawn from. The
+	// zero value selects 240.0.0.0/4 (reserved, unreachable — exactly
+	// what the paper requires of spoofed sources).
+	SpoofPrefix netip.Prefix
+	// Seed drives source/port randomness.
+	Seed int64
+}
+
+// DefaultSpoofPrefix is the reserved class-E block used for spoofed
+// sources when Config.SpoofPrefix is unset: addresses from it are
+// never reachable, so no RST ever comes back to the victim.
+var DefaultSpoofPrefix = netip.MustParsePrefix("240.0.0.0/4")
+
+// ErrBadConfig reports an invalid flood configuration.
+var ErrBadConfig = errors.New("flood: invalid config")
+
+func (c *Config) validate() error {
+	if c.Duration <= 0 || c.Start < 0 {
+		return fmt.Errorf("%w: start %v duration %v", ErrBadConfig, c.Start, c.Duration)
+	}
+	if c.Pattern == nil || c.Pattern.Peak() <= 0 {
+		return fmt.Errorf("%w: missing or zero-rate pattern", ErrBadConfig)
+	}
+	if !c.Victim.IsValid() {
+		return fmt.Errorf("%w: invalid victim", ErrBadConfig)
+	}
+	if !c.SpoofPrefix.IsValid() {
+		c.SpoofPrefix = DefaultSpoofPrefix
+	}
+	return nil
+}
+
+// Times returns the SYN emission times (relative to trace start) for
+// the configured flood. A Constant pattern emits on an exact regular
+// grid — the cumulative count over any window matches rate*window to
+// ±1, which is also how packet-blasting attack tools behave; other
+// patterns use Poisson thinning against the peak rate.
+func Times(cfg Config) ([]time.Duration, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if c, ok := cfg.Pattern.(Constant); ok {
+		return constantTimes(cfg.Start, cfg.Duration, c.PerSecond), nil
+	}
+	return thinnedTimes(cfg)
+}
+
+func constantTimes(start, duration time.Duration, rate float64) []time.Duration {
+	n := int(rate * duration.Seconds())
+	out := make([]time.Duration, 0, n)
+	gap := time.Duration(float64(time.Second) / rate)
+	for t := start; t < start+duration; t += gap {
+		out = append(out, t)
+	}
+	return out
+}
+
+func thinnedTimes(cfg Config) ([]time.Duration, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	peak := cfg.Pattern.Peak()
+	var out []time.Duration
+	t := cfg.Start
+	for {
+		gap := rng.ExpFloat64() / peak
+		t += time.Duration(gap * float64(time.Second))
+		if t >= cfg.Start+cfg.Duration {
+			return out, nil
+		}
+		if rng.Float64()*peak <= cfg.Pattern.Rate(t-cfg.Start) {
+			out = append(out, t)
+		}
+	}
+}
+
+// GenerateTrace renders the flood as outbound SYN records, ready to be
+// merged into background traffic with trace.Merge (Figure 6's
+// "flooding traffic" input). The spoofed sources never answer, so no
+// SYN/ACKs accompany them.
+func GenerateTrace(cfg Config) (*trace.Trace, error) {
+	if err := cfg.validate(); err != nil { // also defaults SpoofPrefix
+		return nil, err
+	}
+	times, err := Times(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	tr := &trace.Trace{
+		Name: fmt.Sprintf("flood-%s", patternName(cfg.Pattern)),
+		Span: cfg.Start + cfg.Duration,
+	}
+	tr.Records = make([]trace.Record, 0, len(times))
+	for _, ts := range times {
+		tr.Records = append(tr.Records, trace.Record{
+			Ts:      ts,
+			Kind:    packet.KindSYN,
+			Dir:     trace.DirOut,
+			Src:     SpoofedAddr(cfg.SpoofPrefix, rng),
+			Dst:     cfg.Victim,
+			SrcPort: uint16(1024 + rng.Intn(64000)),
+			DstPort: cfg.VictimPort,
+		})
+	}
+	return tr, nil
+}
+
+func patternName(p Pattern) string {
+	switch p.(type) {
+	case Constant:
+		return "constant"
+	case Bursty:
+		return "bursty"
+	case Ramp:
+		return "ramp"
+	default:
+		return "custom"
+	}
+}
+
+// SpoofedAddr samples a random address inside prefix. Sources are
+// randomized per packet, as the DDoS tools of Section 4.2 do.
+func SpoofedAddr(prefix netip.Prefix, rng *rand.Rand) netip.Addr {
+	base := prefix.Masked().Addr().As4()
+	hostBits := 32 - prefix.Bits()
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	if hostBits > 0 {
+		span := uint64(1) << hostBits
+		v += uint32(rng.Uint64() % span)
+	}
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Campaign is the distributed-attack arithmetic of Section 4.2: a
+// total rate V split evenly across A stub networks, one flooding
+// source per stub, so each SYN-dog sees only fi = V/A.
+type Campaign struct {
+	// TotalRate is V, the aggregate SYN/s needed at the victim.
+	TotalRate float64
+	// Stubs is A, the number of stub networks hosting one source each.
+	Stubs int
+}
+
+// PerStubRate returns fi = V/A, the rate visible to each outbound
+// sniffer.
+func (c Campaign) PerStubRate() (float64, error) {
+	if c.Stubs < 1 || c.TotalRate <= 0 {
+		return 0, ErrBadConfig
+	}
+	return c.TotalRate / float64(c.Stubs), nil
+}
+
+// MaxHiddenStubs answers the paper's discussion question (4.2.3): how
+// many stubs can the attacker spread across before each per-stub rate
+// drops below the detection floor fmin? A = floor(V / fmin).
+func (c Campaign) MaxHiddenStubs(fmin float64) (int, error) {
+	if fmin <= 0 || c.TotalRate <= 0 {
+		return 0, ErrBadConfig
+	}
+	return int(c.TotalRate / fmin), nil
+}

@@ -1,0 +1,184 @@
+package iptrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearPath(t *testing.T) {
+	p, err := LinearPath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 || p[0] != 1 || p[2] != 3 {
+		t.Errorf("path = %v", p)
+	}
+	if p.String() != "R1->R2->R3" {
+		t.Errorf("String = %q", p.String())
+	}
+	if _, err := LinearPath(0); err != ErrEmptyPath {
+		t.Errorf("error = %v, want ErrEmptyPath", err)
+	}
+}
+
+func TestNewMarkerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	path, _ := LinearPath(5)
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewMarker(path, p, rng); err != ErrBadProbability {
+			t.Errorf("p=%v error = %v, want ErrBadProbability", p, err)
+		}
+	}
+	if _, err := NewMarker(nil, 0.04, rng); err != ErrEmptyPath {
+		t.Errorf("empty path error = %v", err)
+	}
+}
+
+func TestForwardMarkDistances(t *testing.T) {
+	// With p ≈ 1 every router marks, so the surviving mark is always
+	// from the LAST router with distance 0 and no end.
+	rng := rand.New(rand.NewSource(2))
+	path, _ := LinearPath(6)
+	m, err := NewMarker(path, 0.999999, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		mark := m.Forward()
+		if !mark.Valid() {
+			t.Fatal("no mark with p≈1")
+		}
+		if mark.Start != 6 || mark.Distance != 0 {
+			t.Fatalf("mark = %+v, want last router at distance 0", mark)
+		}
+	}
+}
+
+func TestForwardUnmarkedPossible(t *testing.T) {
+	// With tiny p most packets arrive unmarked.
+	rng := rand.New(rand.NewSource(3))
+	path, _ := LinearPath(3)
+	m, _ := NewMarker(path, 0.001, rng)
+	unmarked := 0
+	for i := 0; i < 1000; i++ {
+		if !m.Forward().Valid() {
+			unmarked++
+		}
+	}
+	if unmarked < 900 {
+		t.Errorf("unmarked = %d/1000, want ~997", unmarked)
+	}
+}
+
+func TestReconstructExactPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	path, _ := LinearPath(8)
+	c, err := NewCampaign(path, 0.04, rng) // Savage's recommended p
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := c.PacketsToReconstruct(200000)
+	if !ok {
+		t.Fatal("reconstruction failed within budget")
+	}
+	got, err := c.Collector.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != path.String() {
+		t.Errorf("reconstructed %v, want %v", got, path)
+	}
+	// Sanity: reconstruction needs hundreds-to-thousands of packets —
+	// the cost SYN-dog avoids entirely.
+	if n < 50 {
+		t.Errorf("reconstruction in %d packets is implausibly cheap", n)
+	}
+	if c.Collector.Packets() == 0 {
+		t.Error("collector did not count packets")
+	}
+}
+
+func TestReconstructIncompleteEarly(t *testing.T) {
+	c := NewCollector()
+	if _, err := c.Reconstruct(); err != ErrIncomplete {
+		t.Errorf("empty collector error = %v, want ErrIncomplete", err)
+	}
+	// Only a distance-2 edge: hop coverage is broken.
+	c.Ingest(Mark{Start: 1, End: 2, Distance: 2, valid: true})
+	if _, err := c.Reconstruct(); err != ErrIncomplete {
+		t.Errorf("gapped distances error = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestReconstructSingleRouterPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	path, _ := LinearPath(1)
+	c, err := NewCampaign(path, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := c.PacketsToReconstruct(1000)
+	if !ok {
+		t.Fatalf("single-hop reconstruction failed in %d packets", n)
+	}
+}
+
+func TestExpectedPacketsFormula(t *testing.T) {
+	// d=25, p=1/25: the canonical Savage example, E < ln(25)/(p(1-p)^24)
+	// ≈ 25*ln(25)/ (1-1/25)^24 ≈ 80.49/0.375 ≈ 214.6... compute directly.
+	got := ExpectedPackets(25, 1.0/25)
+	want := math.Log(25) / ((1.0 / 25) * math.Pow(1-1.0/25, 24))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedPackets = %v, want %v", got, want)
+	}
+	if got < 100 || got > 500 {
+		t.Errorf("canonical case = %v, expected a few hundred packets", got)
+	}
+	// Degenerate inputs.
+	if !math.IsInf(ExpectedPackets(0, 0.04), 1) {
+		t.Error("pathLen 0 should be +Inf")
+	}
+	if !math.IsInf(ExpectedPackets(5, 0), 1) {
+		t.Error("p=0 should be +Inf")
+	}
+	if got := ExpectedPackets(1, 0.1); math.Abs(got-10) > 1e-9 {
+		t.Errorf("single hop = %v, want 1/p = 10", got)
+	}
+}
+
+func TestExpectedPacketsGrowsWithPathLength(t *testing.T) {
+	prev := 0.0
+	for d := 2; d <= 30; d += 4 {
+		e := ExpectedPackets(d, 0.04)
+		if e <= prev {
+			t.Fatalf("E[X] not growing at d=%d: %v <= %v", d, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestEmpiricalMatchesBoundOrder(t *testing.T) {
+	// The measured packets-to-reconstruction should be the same order
+	// of magnitude as the analytic bound.
+	rng := rand.New(rand.NewSource(6))
+	path, _ := LinearPath(10)
+	bound := ExpectedPackets(10, 0.04)
+	total := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		c, err := NewCampaign(path, 0.04, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, ok := c.PacketsToReconstruct(500000)
+		if !ok {
+			t.Fatal("reconstruction failed")
+		}
+		total += n
+	}
+	mean := float64(total) / trials
+	if mean > 20*bound {
+		t.Errorf("empirical %v wildly above bound %v", mean, bound)
+	}
+}

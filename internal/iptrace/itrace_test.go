@@ -1,0 +1,136 @@
+package iptrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewITraceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	path, _ := LinearPath(4)
+	if _, err := NewITraceRouterSet(nil, 0.01, rng); err != ErrEmptyPath {
+		t.Errorf("empty path error = %v", err)
+	}
+	for _, p := range []float64{0, 1, -1} {
+		if _, err := NewITraceRouterSet(path, p, rng); err != ErrBadProbability {
+			t.Errorf("p=%v error = %v", p, err)
+		}
+	}
+}
+
+func TestITraceMessagesIdentifyAdjacency(t *testing.T) {
+	// With p ≈ 1 every router reports on every packet.
+	rng := rand.New(rand.NewSource(2))
+	path, _ := LinearPath(4)
+	s, err := NewITraceRouterSet(path, 0.999999, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := s.Forward()
+	if len(msgs) != 4 {
+		t.Fatalf("messages = %d, want 4", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Router != path[i] {
+			t.Errorf("msg %d router = %v, want %v", i, m.Router, path[i])
+		}
+		wantNext := RouterID(0)
+		if i+1 < len(path) {
+			wantNext = path[i+1]
+		}
+		if m.Next != wantNext {
+			t.Errorf("msg %d next = %v, want %v", i, m.Next, wantNext)
+		}
+	}
+	if s.Emitted() != 4 {
+		t.Errorf("Emitted = %d", s.Emitted())
+	}
+}
+
+func TestITraceReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	path, _ := LinearPath(10)
+	// High sampling rate keeps the test fast; correctness is the point.
+	n, ok, err := ITracePacketsToReconstruct(path, 0.01, rng, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("reconstruction failed in %d packets", n)
+	}
+	if n < 50 {
+		t.Errorf("reconstruction in %d packets is implausibly cheap at p=0.01", n)
+	}
+}
+
+func TestITraceCollectorIncompleteAndCycles(t *testing.T) {
+	c := NewITraceCollector()
+	if _, err := c.Reconstruct(); err != ErrIncomplete {
+		t.Errorf("empty error = %v", err)
+	}
+	// Two fragments: R1->R2 and R4->R5 (R3 never reported).
+	c.IngestPacket([]ITraceMessage{{Router: 1, Next: 2}})
+	c.IngestPacket([]ITraceMessage{{Router: 4, Next: 5}})
+	if _, err := c.Reconstruct(); err != ErrIncomplete {
+		t.Errorf("fragmented error = %v", err)
+	}
+	// A cycle must be rejected, not loop forever.
+	cyc := NewITraceCollector()
+	cyc.IngestPacket([]ITraceMessage{{Router: 1, Next: 2}, {Router: 2, Next: 1}})
+	if _, err := cyc.Reconstruct(); err != ErrIncomplete {
+		t.Errorf("cycle error = %v", err)
+	}
+}
+
+func TestITraceExpectedPackets(t *testing.T) {
+	// d=1: 1/p.
+	if got := ITraceExpectedPackets(1, 0.01); math.Abs(got-100) > 1e-9 {
+		t.Errorf("d=1 = %v, want 100", got)
+	}
+	// Grows with path length but only harmonically.
+	e5 := ITraceExpectedPackets(5, 0.001)
+	e25 := ITraceExpectedPackets(25, 0.001)
+	if e25 <= e5 {
+		t.Error("expected packets should grow with path length")
+	}
+	if e25 > 5*e5 {
+		t.Errorf("iTrace growth should be harmonic, got %v vs %v", e25, e5)
+	}
+	if ITraceExpectedPackets(0, 0.01) < 1e300 {
+		t.Error("degenerate path should be ~inf")
+	}
+	if ITraceExpectedPackets(5, 0) < 1e300 {
+		t.Error("p=0 should be ~inf")
+	}
+}
+
+func TestITraceVsPPMContrast(t *testing.T) {
+	// At their canonical settings, both need hundreds-plus of attack
+	// packets; at the draft 1/20000 sampling iTrace needs tens of
+	// thousands more than PPM at p=1/25 — either way the victim waits,
+	// which is the paper's point.
+	ppm := ExpectedPackets(15, 1.0/25)
+	itrace := ITraceExpectedPackets(15, DefaultITraceProbability)
+	if itrace < ppm {
+		t.Errorf("iTrace at 1/20000 (%v) should cost more packets than PPM (%v)", itrace, ppm)
+	}
+	if itrace < 20000 {
+		t.Errorf("iTrace estimate %v implausibly small", itrace)
+	}
+}
+
+func TestITraceEmittedOverheadScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	path, _ := LinearPath(8)
+	s, _ := NewITraceRouterSet(path, 0.05, rng)
+	const packets = 10000
+	for i := 0; i < packets; i++ {
+		s.Forward()
+	}
+	// Expected emissions: packets * pathLen * p = 4000.
+	got := float64(s.Emitted())
+	if got < 3400 || got > 4600 {
+		t.Errorf("emitted = %v, want ≈4000", got)
+	}
+}

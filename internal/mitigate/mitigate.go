@@ -1,0 +1,212 @@
+// Package mitigate implements the response actions Section 4.2.3
+// sketches for the moment SYN-dog raises its alarm: because the
+// flooding source is inside the stub network, the leaf router can act
+// locally instead of invoking IP traceback.
+//
+//   - IngressFilter is RFC 2267 network ingress filtering: outbound
+//     packets whose source address lies outside the stub prefix are
+//     spoofed by construction and can be dropped at the leaf router.
+//   - Locator attributes spoofed packets to the layer-2 station (MAC
+//     address / switch port) they physically entered from, pinpointing
+//     the compromised host no matter what source address it forges.
+//   - TokenBucket rate-limits outbound SYNs as a softer response when
+//     dropping everything is too blunt.
+//
+// (The other classic mitigation, SYN cookies, lives with the TCP
+// endpoint substrate in internal/tcp, since it is a server-side
+// behavior.)
+package mitigate
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// StationID is a layer-2 station identity (a MAC address). The leaf
+// router sees which station every frame entered from regardless of
+// the forged IP source — that is why the paper can "check the MAC
+// addresses of IP packets whose source addresses are spoofed".
+type StationID [6]byte
+
+// String formats the station as a MAC address.
+func (s StationID) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", s[0], s[1], s[2], s[3], s[4], s[5])
+}
+
+// StationFromAddr derives the deterministic pseudo-MAC the simulator
+// assigns to a host: a locally-administered address embedding the
+// IPv4 address.
+func StationFromAddr(addr netip.Addr) StationID {
+	a := addr.As4()
+	// 0x02 = locally administered, unicast.
+	return StationID{0x02, 0x5d, a[0], a[1], a[2], a[3]}
+}
+
+// IngressFilter drops outbound packets with out-of-prefix sources
+// (RFC 2267). The zero value is not usable; construct with
+// NewIngressFilter.
+type IngressFilter struct {
+	prefix  netip.Prefix
+	enabled bool
+
+	passed  uint64
+	dropped uint64
+}
+
+// NewIngressFilter builds a filter for the stub prefix. It starts
+// disabled: the paper's flow is detect first (SYN-dog), then trigger
+// filtering.
+func NewIngressFilter(prefix netip.Prefix) (*IngressFilter, error) {
+	if !prefix.IsValid() {
+		return nil, errors.New("mitigate: invalid prefix")
+	}
+	return &IngressFilter{prefix: prefix.Masked()}, nil
+}
+
+// Enable switches the filter on (idempotent).
+func (f *IngressFilter) Enable() { f.enabled = true }
+
+// Disable switches the filter off (idempotent).
+func (f *IngressFilter) Disable() { f.enabled = false }
+
+// Enabled reports the filter state.
+func (f *IngressFilter) Enabled() bool { return f.enabled }
+
+// Allow decides one outbound packet by its source address: true means
+// forward. Disabled filters allow everything (but still count).
+func (f *IngressFilter) Allow(src netip.Addr) bool {
+	if !f.enabled || f.prefix.Contains(src) {
+		f.passed++
+		return true
+	}
+	f.dropped++
+	return false
+}
+
+// Stats returns (passed, dropped) counts.
+func (f *IngressFilter) Stats() (passed, dropped uint64) {
+	return f.passed, f.dropped
+}
+
+// Suspect is one station observed emitting spoofed traffic.
+type Suspect struct {
+	Station StationID
+	// Spoofed counts packets with out-of-prefix sources from this
+	// station.
+	Spoofed uint64
+	// DistinctSources counts distinct forged source addresses seen.
+	DistinctSources int
+	// FirstSeen is when the station first emitted a spoofed packet.
+	FirstSeen time.Duration
+}
+
+// Locator attributes spoofed outbound packets to stations. It is the
+// paper's post-alarm source-location step: spoofing requires a raw
+// socket, so the station emitting out-of-prefix sources is the
+// compromised host.
+type Locator struct {
+	prefix   netip.Prefix
+	suspects map[StationID]*suspectState
+}
+
+type suspectState struct {
+	spoofed   uint64
+	sources   map[netip.Addr]struct{}
+	firstSeen time.Duration
+}
+
+// NewLocator builds a locator for the stub prefix.
+func NewLocator(prefix netip.Prefix) (*Locator, error) {
+	if !prefix.IsValid() {
+		return nil, errors.New("mitigate: invalid prefix")
+	}
+	return &Locator{
+		prefix:   prefix.Masked(),
+		suspects: make(map[StationID]*suspectState),
+	}, nil
+}
+
+// Observe records one outbound packet: the station it entered from and
+// its claimed IP source. In-prefix sources are legitimate and ignored.
+// It returns true when the packet was spoofed.
+func (l *Locator) Observe(now time.Duration, station StationID, src netip.Addr) bool {
+	if l.prefix.Contains(src) {
+		return false
+	}
+	st, ok := l.suspects[station]
+	if !ok {
+		st = &suspectState{sources: make(map[netip.Addr]struct{}), firstSeen: now}
+		l.suspects[station] = st
+	}
+	st.spoofed++
+	st.sources[src] = struct{}{}
+	return true
+}
+
+// Suspects returns all stations caught spoofing, most prolific first.
+func (l *Locator) Suspects() []Suspect {
+	out := make([]Suspect, 0, len(l.suspects))
+	for id, st := range l.suspects {
+		out = append(out, Suspect{
+			Station:         id,
+			Spoofed:         st.spoofed,
+			DistinctSources: len(st.sources),
+			FirstSeen:       st.firstSeen,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Spoofed != out[j].Spoofed {
+			return out[i].Spoofed > out[j].Spoofed
+		}
+		return out[i].Station.String() < out[j].Station.String()
+	})
+	return out
+}
+
+// TokenBucket rate-limits a packet class (outbound SYNs, say) to a
+// sustained rate with a burst allowance. Time is supplied by the
+// caller (simulation time), making the limiter deterministic.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Duration
+
+	allowed uint64
+	denied  uint64
+}
+
+// NewTokenBucket builds a limiter; rate and burst must be positive.
+// The bucket starts full.
+func NewTokenBucket(rate, burst float64) (*TokenBucket, error) {
+	if rate <= 0 || burst <= 0 {
+		return nil, errors.New("mitigate: rate and burst must be positive")
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}, nil
+}
+
+// Allow decides one packet at the given (non-decreasing) time.
+func (b *TokenBucket) Allow(now time.Duration) bool {
+	if now > b.last {
+		b.tokens += b.rate * (now - b.last).Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.allowed++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// Stats returns (allowed, denied) counts.
+func (b *TokenBucket) Stats() (allowed, denied uint64) {
+	return b.allowed, b.denied
+}

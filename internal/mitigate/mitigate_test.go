@@ -1,0 +1,207 @@
+package mitigate
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	stubPrefix = netip.MustParsePrefix("10.1.0.0/24")
+	insideSrc  = netip.MustParseAddr("10.1.0.5")
+	spoofedSrc = netip.MustParseAddr("240.1.2.3")
+)
+
+func TestStationString(t *testing.T) {
+	s := StationID{0x02, 0x5d, 0x0a, 0x01, 0x00, 0x05}
+	if got := s.String(); got != "02:5d:0a:01:00:05" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestStationFromAddrDeterministic(t *testing.T) {
+	a := StationFromAddr(insideSrc)
+	b := StationFromAddr(insideSrc)
+	if a != b {
+		t.Error("pseudo-MAC not deterministic")
+	}
+	c := StationFromAddr(netip.MustParseAddr("10.1.0.6"))
+	if a == c {
+		t.Error("distinct hosts share a pseudo-MAC")
+	}
+	if a[0]&0x02 == 0 {
+		t.Error("pseudo-MAC not locally administered")
+	}
+}
+
+func TestIngressFilterLifecycle(t *testing.T) {
+	f, err := NewIngressFilter(stubPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Enabled() {
+		t.Error("filter should start disabled")
+	}
+	// Disabled: everything passes, even spoofed.
+	if !f.Allow(spoofedSrc) {
+		t.Error("disabled filter dropped a packet")
+	}
+	f.Enable()
+	if !f.Enabled() {
+		t.Error("Enable failed")
+	}
+	if f.Allow(spoofedSrc) {
+		t.Error("enabled filter passed a spoofed source")
+	}
+	if !f.Allow(insideSrc) {
+		t.Error("enabled filter dropped a legitimate source")
+	}
+	passed, dropped := f.Stats()
+	if passed != 2 || dropped != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", passed, dropped)
+	}
+	f.Disable()
+	if f.Enabled() {
+		t.Error("Disable failed")
+	}
+}
+
+func TestNewIngressFilterValidation(t *testing.T) {
+	if _, err := NewIngressFilter(netip.Prefix{}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+func TestLocatorPinpointsSpoofer(t *testing.T) {
+	l, err := NewLocator(stubPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit := StationFromAddr(insideSrc)
+	attacker := StationFromAddr(netip.MustParseAddr("10.1.0.66"))
+
+	// Legit host: in-prefix sources, never suspected.
+	for i := 0; i < 100; i++ {
+		if l.Observe(time.Duration(i)*time.Millisecond, legit, insideSrc) {
+			t.Fatal("legitimate packet flagged as spoofed")
+		}
+	}
+	// Attacker: rotating spoofed sources.
+	base := netip.MustParseAddr("240.0.0.1")
+	src := base
+	for i := 0; i < 50; i++ {
+		if !l.Observe(time.Second+time.Duration(i)*time.Millisecond, attacker, src) {
+			t.Fatal("spoofed packet not flagged")
+		}
+		src = src.Next()
+	}
+
+	suspects := l.Suspects()
+	if len(suspects) != 1 {
+		t.Fatalf("suspects = %d, want 1", len(suspects))
+	}
+	s := suspects[0]
+	if s.Station != attacker {
+		t.Errorf("suspect = %v, want %v", s.Station, attacker)
+	}
+	if s.Spoofed != 50 {
+		t.Errorf("spoofed count = %d, want 50", s.Spoofed)
+	}
+	if s.DistinctSources != 50 {
+		t.Errorf("distinct sources = %d, want 50", s.DistinctSources)
+	}
+	if s.FirstSeen != time.Second {
+		t.Errorf("first seen = %v, want 1s", s.FirstSeen)
+	}
+}
+
+func TestLocatorOrdersByVolume(t *testing.T) {
+	l, _ := NewLocator(stubPrefix)
+	heavy := StationFromAddr(netip.MustParseAddr("10.1.0.2"))
+	light := StationFromAddr(netip.MustParseAddr("10.1.0.3"))
+	for i := 0; i < 10; i++ {
+		l.Observe(0, heavy, spoofedSrc)
+	}
+	l.Observe(0, light, spoofedSrc)
+	suspects := l.Suspects()
+	if len(suspects) != 2 {
+		t.Fatalf("suspects = %d, want 2", len(suspects))
+	}
+	if suspects[0].Station != heavy {
+		t.Error("heaviest spoofer not first")
+	}
+}
+
+func TestNewLocatorValidation(t *testing.T) {
+	if _, err := NewLocator(netip.Prefix{}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(0, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(10, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	b, err := NewTokenBucket(10, 5) // 10/s, burst 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst: 5 immediate packets pass, the 6th is denied.
+	for i := 0; i < 5; i++ {
+		if !b.Allow(0) {
+			t.Fatalf("burst packet %d denied", i)
+		}
+	}
+	if b.Allow(0) {
+		t.Error("packet beyond burst allowed")
+	}
+	// After 100ms one token (10/s * 0.1s) has refilled.
+	if !b.Allow(100 * time.Millisecond) {
+		t.Error("refilled token not granted")
+	}
+	if b.Allow(100 * time.Millisecond) {
+		t.Error("second packet granted from a single refilled token")
+	}
+	allowed, denied := b.Stats()
+	if allowed != 6 || denied != 2 {
+		t.Errorf("stats = %d/%d, want 6/2", allowed, denied)
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b, _ := NewTokenBucket(1000, 3)
+	// A long quiet interval must not accumulate more than burst.
+	if !b.Allow(time.Hour) {
+		t.Fatal("first packet denied")
+	}
+	count := 1
+	for b.Allow(time.Hour) {
+		count++
+		if count > 10 {
+			break
+		}
+	}
+	if count != 3 {
+		t.Errorf("burst after idle = %d, want 3", count)
+	}
+}
+
+func TestTokenBucketSustainedRate(t *testing.T) {
+	b, _ := NewTokenBucket(50, 5)
+	allowed := 0
+	// Offer 100 packets/s for 10 s: only ~50/s should pass.
+	for i := 0; i < 1000; i++ {
+		if b.Allow(time.Duration(i) * 10 * time.Millisecond) {
+			allowed++
+		}
+	}
+	if allowed < 480 || allowed > 520 {
+		t.Errorf("sustained allowed = %d, want ≈500", allowed)
+	}
+}

@@ -1,0 +1,375 @@
+// Package netsim is a deterministic, event-driven network simulator
+// used to emulate the paper's deployment: stub networks connected to
+// the Internet through leaf routers, with SYN-dog taps on the leaf
+// router's inbound and outbound interfaces (Figure 2 of the paper).
+//
+// Topology model:
+//
+//	Host --link--> LeafRouter --link--> Internet <--link-- LeafRouter ...
+//
+// Every leaf router owns a stub prefix. Packets from a stub host to an
+// external destination cross the router's outbound interface (firing
+// outbound taps), traverse the Internet cloud, and descend through the
+// destination router's inbound interface (firing inbound taps there).
+// Intra-stub traffic is switched locally and never fires taps, exactly
+// as interface-attached sniffers would observe.
+//
+// The simulator is single-threaded on top of eventsim and fully
+// deterministic given a seed.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/packet"
+)
+
+// Direction distinguishes the two leaf-router interfaces of the paper:
+// inbound carries Internet->Intranet traffic, outbound carries
+// Intranet->Internet traffic.
+type Direction uint8
+
+// Directions.
+const (
+	Inbound Direction = iota + 1
+	Outbound
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Inbound:
+		return "inbound"
+	case Outbound:
+		return "outbound"
+	default:
+		return fmt.Sprintf("direction(%d)", uint8(d))
+	}
+}
+
+// Tap observes packets crossing a router interface. Taps must not
+// modify the segment.
+type Tap func(now time.Duration, dir Direction, seg *packet.Segment)
+
+// Endpoint is anything that can accept a delivered segment.
+type Endpoint interface {
+	Deliver(now time.Duration, seg packet.Segment)
+}
+
+// Errors returned by topology construction.
+var (
+	ErrDuplicateHost   = errors.New("netsim: host address already attached")
+	ErrDuplicatePrefix = errors.New("netsim: stub prefix already attached")
+	ErrNotInPrefix     = errors.New("netsim: host address outside stub prefix")
+	ErrBadLoss         = errors.New("netsim: loss probability outside [0,1)")
+)
+
+// Link is a unidirectional delivery path with fixed propagation delay
+// and i.i.d. packet loss. Bidirectional connectivity uses two links.
+type Link struct {
+	sim   *eventsim.Sim
+	to    Endpoint
+	delay time.Duration
+	loss  float64
+	rng   *rand.Rand
+
+	sent      uint64
+	dropped   uint64
+	delivered uint64
+}
+
+// NewLink builds a link. loss must be in [0, 1); rng may be nil when
+// loss is zero.
+func NewLink(sim *eventsim.Sim, to Endpoint, delay time.Duration, loss float64, rng *rand.Rand) (*Link, error) {
+	if loss < 0 || loss >= 1 {
+		return nil, ErrBadLoss
+	}
+	if loss > 0 && rng == nil {
+		return nil, errors.New("netsim: lossy link needs an rng")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return &Link{sim: sim, to: to, delay: delay, loss: loss, rng: rng}, nil
+}
+
+// Send schedules delivery of seg after the link delay, subject to
+// random loss.
+func (l *Link) Send(seg packet.Segment) {
+	l.sent++
+	if l.loss > 0 && l.rng.Float64() < l.loss {
+		l.dropped++
+		return
+	}
+	l.sim.After(l.delay, func(now time.Duration) {
+		l.delivered++
+		l.to.Deliver(now, seg)
+	})
+}
+
+// Stats returns (sent, delivered, dropped) counts. Packets in flight
+// are counted in sent but not yet in delivered.
+func (l *Link) Stats() (sent, delivered, dropped uint64) {
+	return l.sent, l.delivered, l.dropped
+}
+
+// Host is a leaf node with an IPv4 address. Inbound segments are
+// passed to OnPacket; outbound segments go through SetUplink's link.
+type Host struct {
+	Addr     netip.Addr
+	uplink   *Link
+	OnPacket func(now time.Duration, seg packet.Segment)
+
+	received uint64
+}
+
+// NewHost returns a host with the given address and no handler.
+func NewHost(addr netip.Addr) *Host {
+	return &Host{Addr: addr}
+}
+
+// SetUplink wires the host's outbound path (normally to its router).
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Send transmits seg over the host's uplink. Segments sent before an
+// uplink is attached are silently dropped (the host is disconnected).
+func (h *Host) Send(seg packet.Segment) {
+	if h.uplink != nil {
+		h.uplink.Send(seg)
+	}
+}
+
+// Deliver implements Endpoint.
+func (h *Host) Deliver(now time.Duration, seg packet.Segment) {
+	h.received++
+	if h.OnPacket != nil {
+		h.OnPacket(now, seg)
+	}
+}
+
+// Received returns how many segments the host has accepted.
+func (h *Host) Received() uint64 { return h.received }
+
+// LeafRouter connects one stub network to the Internet and hosts the
+// SYN-dog taps. It switches by destination address: stub-internal
+// destinations go to the attached host links, everything else goes to
+// the uplink.
+type LeafRouter struct {
+	Prefix netip.Prefix
+
+	hostLinks map[netip.Addr]*Link
+	uplink    *Link
+	taps      []Tap
+
+	inboundSeen   uint64
+	outboundSeen  uint64
+	localSwitched uint64
+	unroutable    uint64
+}
+
+// NewLeafRouter builds a router owning the given stub prefix.
+func NewLeafRouter(prefix netip.Prefix) *LeafRouter {
+	return &LeafRouter{
+		Prefix:    prefix.Masked(),
+		hostLinks: make(map[netip.Addr]*Link),
+	}
+}
+
+// AttachHost registers the downlink used to reach a stub host. The
+// address must be inside the router's prefix and not yet attached.
+func (r *LeafRouter) AttachHost(addr netip.Addr, down *Link) error {
+	if !r.Prefix.Contains(addr) {
+		return ErrNotInPrefix
+	}
+	if _, dup := r.hostLinks[addr]; dup {
+		return ErrDuplicateHost
+	}
+	r.hostLinks[addr] = down
+	return nil
+}
+
+// SetUplink wires the router's path toward the Internet cloud.
+func (r *LeafRouter) SetUplink(l *Link) { r.uplink = l }
+
+// AddTap registers a tap that observes both interfaces; the tap's dir
+// argument says which interface the packet crossed.
+func (r *LeafRouter) AddTap(t Tap) { r.taps = append(r.taps, t) }
+
+// Deliver implements Endpoint. It classifies the crossing direction,
+// fires taps, and forwards.
+func (r *LeafRouter) Deliver(now time.Duration, seg packet.Segment) {
+	dstInside := r.Prefix.Contains(seg.IP.Dst)
+	srcInside := r.Prefix.Contains(seg.IP.Src)
+
+	switch {
+	case dstInside && srcInside:
+		// Intra-stub: switched locally, crosses no sniffed interface.
+		r.localSwitched++
+		r.forwardLocal(seg)
+	case dstInside:
+		// Internet -> Intranet: inbound interface.
+		r.inboundSeen++
+		r.fireTaps(now, Inbound, &seg)
+		r.forwardLocal(seg)
+	default:
+		// Intranet -> Internet (or transit): outbound interface.
+		// Spoofed sources are forwarded regardless of srcInside — the
+		// stateless router does not validate sources (that is exactly
+		// the weakness the paper exploits for detection rather than
+		// prevention).
+		r.outboundSeen++
+		r.fireTaps(now, Outbound, &seg)
+		if r.uplink != nil {
+			r.uplink.Send(seg)
+		}
+	}
+}
+
+func (r *LeafRouter) forwardLocal(seg packet.Segment) {
+	if link, ok := r.hostLinks[seg.IP.Dst]; ok {
+		link.Send(seg)
+		return
+	}
+	r.unroutable++
+}
+
+func (r *LeafRouter) fireTaps(now time.Duration, dir Direction, seg *packet.Segment) {
+	for _, t := range r.taps {
+		t(now, dir, seg)
+	}
+}
+
+// Counters returns the router's packet counters: packets that crossed
+// the inbound interface, the outbound interface, were switched
+// locally, and were dropped for lack of a route.
+func (r *LeafRouter) Counters() (inbound, outbound, local, unroutable uint64) {
+	return r.inboundSeen, r.outboundSeen, r.localSwitched, r.unroutable
+}
+
+// Internet is the core cloud: it routes packets between attached leaf
+// routers by longest-prefix-wins (prefixes here are disjoint, so the
+// first containing prefix is used).
+type Internet struct {
+	sim     *eventsim.Sim
+	entries []cloudEntry
+
+	routed     uint64
+	unroutable uint64
+}
+
+type cloudEntry struct {
+	prefix netip.Prefix
+	link   *Link
+}
+
+// NewInternet returns an empty cloud on the given simulation.
+func NewInternet(sim *eventsim.Sim) *Internet {
+	return &Internet{sim: sim}
+}
+
+// Attach registers a route: packets destined to prefix are sent down
+// link (normally toward that prefix's leaf router).
+func (n *Internet) Attach(prefix netip.Prefix, link *Link) error {
+	prefix = prefix.Masked()
+	for _, e := range n.entries {
+		if e.prefix == prefix {
+			return ErrDuplicatePrefix
+		}
+	}
+	n.entries = append(n.entries, cloudEntry{prefix: prefix, link: link})
+	return nil
+}
+
+// Deliver implements Endpoint.
+func (n *Internet) Deliver(_ time.Duration, seg packet.Segment) {
+	for _, e := range n.entries {
+		if e.prefix.Contains(seg.IP.Dst) {
+			n.routed++
+			e.link.Send(seg)
+			return
+		}
+	}
+	// Destinations outside every stub (e.g. spoofed-victim RSTs toward
+	// unreachable addresses) vanish here, exactly like packets to
+	// unallocated space.
+	n.unroutable++
+}
+
+// Counters returns (routed, unroutable) packet counts.
+func (n *Internet) Counters() (routed, unroutable uint64) {
+	return n.routed, n.unroutable
+}
+
+// StubNetwork bundles a leaf router, its hosts, and the two links
+// connecting it to the Internet cloud — one building block per stub
+// network in the flooding experiments.
+type StubNetwork struct {
+	Router *LeafRouter
+	Hosts  []*Host
+}
+
+// StubConfig parameterizes BuildStub.
+type StubConfig struct {
+	// Prefix is the stub's address block.
+	Prefix netip.Prefix
+	// Hosts is how many hosts to create, addressed sequentially from
+	// the first usable address in the prefix.
+	Hosts int
+	// HostDelay is the one-way host<->router link delay.
+	HostDelay time.Duration
+	// UplinkDelay is the one-way router<->Internet link delay.
+	UplinkDelay time.Duration
+	// Loss is the i.i.d. loss probability applied on the uplink pair.
+	Loss float64
+}
+
+// BuildStub wires a complete stub network onto the cloud.
+func BuildStub(sim *eventsim.Sim, cloud *Internet, cfg StubConfig, rng *rand.Rand) (*StubNetwork, error) {
+	if cfg.Hosts < 1 {
+		return nil, errors.New("netsim: stub needs at least one host")
+	}
+	router := NewLeafRouter(cfg.Prefix)
+
+	// Router <-> Internet.
+	up, err := NewLink(sim, cloud, cfg.UplinkDelay, cfg.Loss, rng)
+	if err != nil {
+		return nil, err
+	}
+	router.SetUplink(up)
+	down, err := NewLink(sim, router, cfg.UplinkDelay, cfg.Loss, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := cloud.Attach(cfg.Prefix, down); err != nil {
+		return nil, err
+	}
+
+	stub := &StubNetwork{Router: router}
+	addr := cfg.Prefix.Masked().Addr().Next() // skip network address
+	for i := 0; i < cfg.Hosts; i++ {
+		if !cfg.Prefix.Contains(addr) {
+			return nil, fmt.Errorf("netsim: prefix %v too small for %d hosts", cfg.Prefix, cfg.Hosts)
+		}
+		h := NewHost(addr)
+		hostUp, err := NewLink(sim, router, cfg.HostDelay, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		h.SetUplink(hostUp)
+		hostDown, err := NewLink(sim, h, cfg.HostDelay, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := router.AttachHost(addr, hostDown); err != nil {
+			return nil, err
+		}
+		stub.Hosts = append(stub.Hosts, h)
+		addr = addr.Next()
+	}
+	return stub, nil
+}

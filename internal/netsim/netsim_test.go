@@ -1,0 +1,322 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/packet"
+)
+
+type sink struct {
+	segs  []packet.Segment
+	times []time.Duration
+}
+
+func (s *sink) Deliver(now time.Duration, seg packet.Segment) {
+	s.segs = append(s.segs, seg)
+	s.times = append(s.times, now)
+}
+
+func seg(src, dst string, flags uint8) packet.Segment {
+	return packet.Build(
+		netip.MustParseAddr(src), netip.MustParseAddr(dst),
+		1234, 80, 1, 0, flags,
+	)
+}
+
+func TestDirectionString(t *testing.T) {
+	if Inbound.String() != "inbound" || Outbound.String() != "outbound" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(9).String() != "direction(9)" {
+		t.Error("unknown direction string wrong")
+	}
+}
+
+func TestLinkDelayAndDelivery(t *testing.T) {
+	sim := eventsim.New()
+	var dst sink
+	l, err := NewLink(sim, &dst, 5*time.Millisecond, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN))
+	sim.Run()
+	if len(dst.segs) != 1 {
+		t.Fatalf("delivered %d, want 1", len(dst.segs))
+	}
+	if dst.times[0] != 5*time.Millisecond {
+		t.Errorf("delivered at %v, want 5ms", dst.times[0])
+	}
+	sent, delivered, dropped := l.Stats()
+	if sent != 1 || delivered != 1 || dropped != 0 {
+		t.Errorf("stats = %d/%d/%d", sent, delivered, dropped)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	sim := eventsim.New()
+	var dst sink
+	if _, err := NewLink(sim, &dst, 0, -0.1, nil); err != ErrBadLoss {
+		t.Errorf("negative loss error = %v, want ErrBadLoss", err)
+	}
+	if _, err := NewLink(sim, &dst, 0, 1.0, nil); err != ErrBadLoss {
+		t.Errorf("loss=1 error = %v, want ErrBadLoss", err)
+	}
+	if _, err := NewLink(sim, &dst, 0, 0.5, nil); err == nil {
+		t.Error("lossy link without rng should fail")
+	}
+	if _, err := NewLink(sim, &dst, -time.Second, 0, nil); err != nil {
+		t.Errorf("negative delay should clamp, got error %v", err)
+	}
+}
+
+func TestLinkLossRate(t *testing.T) {
+	sim := eventsim.New()
+	var dst sink
+	rng := rand.New(rand.NewSource(42))
+	l, err := NewLink(sim, &dst, 0, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		l.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN))
+	}
+	sim.Run()
+	_, delivered, dropped := l.Stats()
+	lossRate := float64(dropped) / n
+	if lossRate < 0.27 || lossRate > 0.33 {
+		t.Errorf("loss rate = %v, want ~0.3", lossRate)
+	}
+	if delivered+dropped != n {
+		t.Errorf("delivered+dropped = %d, want %d", delivered+dropped, n)
+	}
+}
+
+func TestHostUnconnectedSendDoesNotPanic(t *testing.T) {
+	h := NewHost(netip.MustParseAddr("10.0.0.1"))
+	h.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN)) // no uplink: dropped
+	if h.Received() != 0 {
+		t.Error("nothing was delivered")
+	}
+}
+
+// buildTwoStubTopology wires two stub networks through one cloud:
+// stub A (10.1.0.0/24, 2 hosts) and stub B (10.2.0.0/24, 1 host).
+func buildTwoStubTopology(t *testing.T) (*eventsim.Sim, *Internet, *StubNetwork, *StubNetwork) {
+	t.Helper()
+	sim := eventsim.New()
+	cloud := NewInternet(sim)
+	a, err := BuildStub(sim, cloud, StubConfig{
+		Prefix:      netip.MustParsePrefix("10.1.0.0/24"),
+		Hosts:       2,
+		HostDelay:   time.Millisecond,
+		UplinkDelay: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildStub(sim, cloud, StubConfig{
+		Prefix:      netip.MustParsePrefix("10.2.0.0/24"),
+		Hosts:       1,
+		HostDelay:   time.Millisecond,
+		UplinkDelay: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, cloud, a, b
+}
+
+func TestCrossStubDelivery(t *testing.T) {
+	sim, cloud, a, b := buildTwoStubTopology(t)
+	var got []packet.Segment
+	b.Hosts[0].OnPacket = func(_ time.Duration, s packet.Segment) {
+		got = append(got, s)
+	}
+	src := a.Hosts[0]
+	dst := b.Hosts[0]
+	src.Send(packet.Build(src.Addr, dst.Addr, 1000, 80, 7, 0, packet.FlagSYN))
+	sim.Run()
+	if len(got) != 1 {
+		t.Fatalf("victim received %d packets, want 1", len(got))
+	}
+	if got[0].IP.Src != src.Addr || got[0].TCP.Seq != 7 {
+		t.Errorf("wrong packet delivered: %+v", got[0])
+	}
+	routed, unroutable := cloud.Counters()
+	if routed != 1 || unroutable != 0 {
+		t.Errorf("cloud counters = %d/%d, want 1/0", routed, unroutable)
+	}
+	// End-to-end delay: host(1ms) + uplink(10ms) + downlink(10ms) + host(1ms).
+	if sim.Now() != 22*time.Millisecond {
+		t.Errorf("final time = %v, want 22ms", sim.Now())
+	}
+}
+
+func TestIntraStubTrafficSkipsTaps(t *testing.T) {
+	sim, _, a, _ := buildTwoStubTopology(t)
+	tapped := 0
+	a.Router.AddTap(func(time.Duration, Direction, *packet.Segment) { tapped++ })
+	var delivered int
+	a.Hosts[1].OnPacket = func(time.Duration, packet.Segment) { delivered++ }
+	a.Hosts[0].Send(packet.Build(a.Hosts[0].Addr, a.Hosts[1].Addr, 1, 2, 3, 0, packet.FlagSYN))
+	sim.Run()
+	if delivered != 1 {
+		t.Fatalf("intra-stub delivery failed: %d", delivered)
+	}
+	if tapped != 0 {
+		t.Errorf("taps fired %d times on local traffic, want 0", tapped)
+	}
+	_, _, local, _ := a.Router.Counters()
+	if local != 1 {
+		t.Errorf("localSwitched = %d, want 1", local)
+	}
+}
+
+func TestTapsObserveDirections(t *testing.T) {
+	sim, _, a, b := buildTwoStubTopology(t)
+	var events []Direction
+	var kinds []packet.Kind
+	a.Router.AddTap(func(_ time.Duration, dir Direction, s *packet.Segment) {
+		events = append(events, dir)
+		kinds = append(kinds, s.Kind())
+	})
+	// Host in A sends SYN to B; host in B replies SYN/ACK.
+	b.Hosts[0].OnPacket = func(_ time.Duration, s packet.Segment) {
+		reply := packet.Build(s.IP.Dst, s.IP.Src, s.TCP.DstPort, s.TCP.SrcPort,
+			100, s.TCP.Seq+1, packet.FlagSYN|packet.FlagACK)
+		b.Hosts[0].Send(reply)
+	}
+	a.Hosts[0].Send(packet.Build(a.Hosts[0].Addr, b.Hosts[0].Addr, 9, 80, 1, 0, packet.FlagSYN))
+	sim.Run()
+	if len(events) != 2 {
+		t.Fatalf("tap fired %d times, want 2 (SYN out, SYN/ACK in)", len(events))
+	}
+	if events[0] != Outbound || kinds[0] != packet.KindSYN {
+		t.Errorf("first crossing = %v/%v, want outbound/syn", events[0], kinds[0])
+	}
+	if events[1] != Inbound || kinds[1] != packet.KindSYNACK {
+		t.Errorf("second crossing = %v/%v, want inbound/syn-ack", events[1], kinds[1])
+	}
+}
+
+func TestSpoofedSourceStillForwarded(t *testing.T) {
+	// A flooder inside stub A spoofs a source outside the stub. The
+	// stateless router must forward it (and the outbound tap sees it).
+	sim, cloud, a, b := buildTwoStubTopology(t)
+	outbound := 0
+	a.Router.AddTap(func(_ time.Duration, dir Direction, _ *packet.Segment) {
+		if dir == Outbound {
+			outbound++
+		}
+	})
+	received := 0
+	b.Hosts[0].OnPacket = func(time.Duration, packet.Segment) { received++ }
+	spoofed := packet.Build(netip.MustParseAddr("203.0.113.7"), b.Hosts[0].Addr,
+		666, 80, 1, 0, packet.FlagSYN)
+	a.Hosts[0].Send(spoofed)
+	sim.Run()
+	if outbound != 1 {
+		t.Errorf("outbound tap fired %d, want 1", outbound)
+	}
+	if received != 1 {
+		t.Errorf("victim received %d, want 1", received)
+	}
+	routed, _ := cloud.Counters()
+	if routed != 1 {
+		t.Errorf("cloud routed = %d, want 1", routed)
+	}
+}
+
+func TestUnroutableDestinations(t *testing.T) {
+	sim, cloud, a, _ := buildTwoStubTopology(t)
+	// Destination outside every stub: vanishes in the cloud. This is
+	// the fate of SYN/ACKs toward spoofed, unallocated addresses.
+	a.Hosts[0].Send(packet.Build(a.Hosts[0].Addr,
+		netip.MustParseAddr("198.51.100.1"), 1, 2, 3, 0, packet.FlagSYN))
+	sim.Run()
+	_, unroutable := cloud.Counters()
+	if unroutable != 1 {
+		t.Errorf("cloud unroutable = %d, want 1", unroutable)
+	}
+	// Destination inside the stub but not an attached host: router drops.
+	ext := packet.Build(netip.MustParseAddr("10.2.0.1"),
+		netip.MustParseAddr("10.1.0.99"), 1, 2, 3, 0, packet.FlagSYN)
+	a.Router.Deliver(sim.Now(), ext)
+	sim.Run()
+	_, _, _, unroutableRtr := a.Router.Counters()
+	if unroutableRtr != 1 {
+		t.Errorf("router unroutable = %d, want 1", unroutableRtr)
+	}
+}
+
+func TestAttachHostValidation(t *testing.T) {
+	r := NewLeafRouter(netip.MustParsePrefix("10.1.0.0/24"))
+	sim := eventsim.New()
+	l, _ := NewLink(sim, &sink{}, 0, 0, nil)
+	outside := netip.MustParseAddr("10.9.0.1")
+	if err := r.AttachHost(outside, l); err != ErrNotInPrefix {
+		t.Errorf("outside prefix error = %v, want ErrNotInPrefix", err)
+	}
+	inside := netip.MustParseAddr("10.1.0.5")
+	if err := r.AttachHost(inside, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachHost(inside, l); err != ErrDuplicateHost {
+		t.Errorf("duplicate error = %v, want ErrDuplicateHost", err)
+	}
+}
+
+func TestInternetDuplicatePrefix(t *testing.T) {
+	sim := eventsim.New()
+	cloud := NewInternet(sim)
+	l, _ := NewLink(sim, &sink{}, 0, 0, nil)
+	p := netip.MustParsePrefix("10.1.0.0/24")
+	if err := cloud.Attach(p, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloud.Attach(p, l); err != ErrDuplicatePrefix {
+		t.Errorf("duplicate prefix error = %v, want ErrDuplicatePrefix", err)
+	}
+}
+
+func TestBuildStubValidation(t *testing.T) {
+	sim := eventsim.New()
+	cloud := NewInternet(sim)
+	if _, err := BuildStub(sim, cloud, StubConfig{
+		Prefix: netip.MustParsePrefix("10.1.0.0/24"),
+		Hosts:  0,
+	}, nil); err == nil {
+		t.Error("zero hosts should fail")
+	}
+	// /30 has 3 usable successor addresses at most; 10 hosts cannot fit.
+	if _, err := BuildStub(sim, cloud, StubConfig{
+		Prefix: netip.MustParsePrefix("10.1.0.0/30"),
+		Hosts:  10,
+	}, nil); err == nil {
+		t.Error("prefix overflow should fail")
+	}
+}
+
+func TestBuildStubHostAddressing(t *testing.T) {
+	sim := eventsim.New()
+	cloud := NewInternet(sim)
+	stub, err := BuildStub(sim, cloud, StubConfig{
+		Prefix: netip.MustParsePrefix("10.5.0.0/24"),
+		Hosts:  3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.5.0.1", "10.5.0.2", "10.5.0.3"}
+	for i, h := range stub.Hosts {
+		if h.Addr != netip.MustParseAddr(want[i]) {
+			t.Errorf("host %d addr = %v, want %v", i, h.Addr, want[i])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/packet"
+)
+
+// QueuedLink is a link with a finite drop-tail buffer draining at a
+// fixed service rate — the congested forwarding path of the paper's
+// second benign discrepancy cause ("the forwarding path of SYNs is
+// congested, and as a result, some SYNs are dropped before they reach
+// their destinations"). When the offered load exceeds the service
+// rate the buffer fills and the tail drops, so some SYNs silently
+// vanish without SYN/ACKs, exactly the asymmetry the CUSUM offset a
+// must absorb.
+//
+// The model is M/D/1-like: deterministic per-packet service time
+// 1/rate, propagation delay added after service completes.
+type QueuedLink struct {
+	sim     *eventsim.Sim
+	to      Endpoint
+	delay   time.Duration
+	service time.Duration // per-packet transmission time
+	buffer  int           // max queued packets (excluding the one in service)
+
+	queue   []packet.Segment
+	busy    bool
+	sent    uint64
+	dropped uint64
+	served  uint64
+	// maxDepth tracks the high-water mark of the queue.
+	maxDepth int
+}
+
+// NewQueuedLink builds a congested link: rate is the service rate in
+// packets/second, buffer the queue capacity.
+func NewQueuedLink(sim *eventsim.Sim, to Endpoint, delay time.Duration, rate float64, buffer int) (*QueuedLink, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, errors.New("netsim: queued link needs a positive service rate")
+	}
+	if buffer < 1 {
+		return nil, errors.New("netsim: queued link needs a positive buffer")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return &QueuedLink{
+		sim:     sim,
+		to:      to,
+		delay:   delay,
+		service: time.Duration(float64(time.Second) / rate),
+		buffer:  buffer,
+	}, nil
+}
+
+// Send enqueues seg for transmission, dropping at the tail when the
+// buffer is full.
+func (l *QueuedLink) Send(seg packet.Segment) {
+	l.sent++
+	if len(l.queue) >= l.buffer {
+		l.dropped++
+		return
+	}
+	l.queue = append(l.queue, seg)
+	if len(l.queue) > l.maxDepth {
+		l.maxDepth = len(l.queue)
+	}
+	if !l.busy {
+		l.busy = true
+		l.serveNext()
+	}
+}
+
+// serveNext transmits the head-of-line packet.
+func (l *QueuedLink) serveNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	seg := l.queue[0]
+	l.queue = l.queue[1:]
+	l.sim.After(l.service, func(time.Duration) {
+		l.served++
+		// Propagation after transmission completes.
+		l.sim.After(l.delay, func(now time.Duration) {
+			l.to.Deliver(now, seg)
+		})
+		l.serveNext()
+	})
+}
+
+// Stats returns (sent, served, dropped) counters.
+func (l *QueuedLink) Stats() (sent, served, dropped uint64) {
+	return l.sent, l.served, l.dropped
+}
+
+// QueueDepth returns the current backlog (excluding any packet in
+// service).
+func (l *QueuedLink) QueueDepth() int { return len(l.queue) }
+
+// MaxQueueDepth returns the high-water mark.
+func (l *QueuedLink) MaxQueueDepth() int { return l.maxDepth }

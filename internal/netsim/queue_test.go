@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/packet"
+)
+
+func TestNewQueuedLinkValidation(t *testing.T) {
+	sim := eventsim.New()
+	var dst sink
+	if _, err := NewQueuedLink(sim, &dst, 0, 0, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewQueuedLink(sim, &dst, 0, -5, 10); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewQueuedLink(sim, &dst, 0, 100, 0); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	if _, err := NewQueuedLink(sim, &dst, -time.Second, 100, 10); err != nil {
+		t.Errorf("negative delay should clamp: %v", err)
+	}
+}
+
+func TestQueuedLinkServiceSpacing(t *testing.T) {
+	// 10 packets at 100 pkt/s: delivery times 10ms, 20ms, ..., 100ms
+	// (plus zero propagation).
+	sim := eventsim.New()
+	var dst sink
+	l, err := NewQueuedLink(sim, &dst, 0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN))
+	}
+	sim.Run()
+	if len(dst.times) != 10 {
+		t.Fatalf("delivered %d, want 10", len(dst.times))
+	}
+	for i, ts := range dst.times {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if ts != want {
+			t.Errorf("packet %d delivered at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestQueuedLinkPropagationAfterService(t *testing.T) {
+	sim := eventsim.New()
+	var dst sink
+	l, _ := NewQueuedLink(sim, &dst, 50*time.Millisecond, 100, 10)
+	l.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN))
+	sim.Run()
+	if dst.times[0] != 60*time.Millisecond { // 10ms service + 50ms prop
+		t.Errorf("delivered at %v, want 60ms", dst.times[0])
+	}
+}
+
+func TestQueuedLinkTailDrop(t *testing.T) {
+	sim := eventsim.New()
+	var dst sink
+	// Buffer 4: a burst of 20 co-timed packets keeps 1 in service +
+	// 4 queued at each step, dropping the overflow.
+	l, _ := NewQueuedLink(sim, &dst, 0, 1000, 4)
+	for i := 0; i < 20; i++ {
+		l.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN))
+	}
+	sim.Run()
+	sent, served, dropped := l.Stats()
+	if sent != 20 {
+		t.Errorf("sent = %d", sent)
+	}
+	if served+dropped != 20 {
+		t.Errorf("served %d + dropped %d != 20", served, dropped)
+	}
+	if dropped == 0 {
+		t.Error("no drops despite tiny buffer")
+	}
+	if l.MaxQueueDepth() > 4 {
+		t.Errorf("queue exceeded buffer: %d", l.MaxQueueDepth())
+	}
+	if len(dst.segs) != int(served) {
+		t.Errorf("delivered %d != served %d", len(dst.segs), served)
+	}
+}
+
+func TestQueuedLinkSustainableLoadNoDrops(t *testing.T) {
+	// Offered 50 pkt/s against a 100 pkt/s server: no loss.
+	sim := eventsim.New()
+	var dst sink
+	l, _ := NewQueuedLink(sim, &dst, 0, 100, 8)
+	for i := 0; i < 100; i++ {
+		i := i
+		sim.After(time.Duration(i)*20*time.Millisecond, func(time.Duration) {
+			l.Send(seg("10.0.0.1", "10.0.0.2", packet.FlagSYN))
+		})
+	}
+	sim.Run()
+	_, served, dropped := l.Stats()
+	if dropped != 0 {
+		t.Errorf("dropped %d under sustainable load", dropped)
+	}
+	if served != 100 {
+		t.Errorf("served = %d, want 100", served)
+	}
+	if l.QueueDepth() != 0 {
+		t.Errorf("queue not drained: %d", l.QueueDepth())
+	}
+}
+
+func TestCongestionCausesBenignSYNLoss(t *testing.T) {
+	// The paper's second discrepancy cause, end to end: SYNs crossing
+	// a congested uplink are partially lost, so SYN/ACK counts lag SYN
+	// counts — but the resulting normalized discrepancy must stay
+	// under the CUSUM offset for sensibly provisioned links.
+	sim := eventsim.New()
+	var answered sink
+	// 120 SYN/s offered into a 100 pkt/s bottleneck: ~17% loss.
+	bottleneck, _ := NewQueuedLink(sim, &answered, time.Millisecond, 100, 16)
+	const offered = 1200 // 120/s for 10s
+	for i := 0; i < offered; i++ {
+		i := i
+		sim.After(time.Duration(i)*time.Second/120, func(time.Duration) {
+			bottleneck.Send(seg("10.0.0.1", "11.0.0.1", packet.FlagSYN))
+		})
+	}
+	sim.Run()
+	_, served, dropped := bottleneck.Stats()
+	lossRate := float64(dropped) / offered
+	if lossRate < 0.1 || lossRate > 0.25 {
+		t.Errorf("loss rate = %.2f, want ≈0.17", lossRate)
+	}
+	if served+dropped != offered {
+		t.Error("packet conservation violated")
+	}
+}

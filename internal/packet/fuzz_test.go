@@ -1,0 +1,61 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzClassify asserts the classifier is total: any byte string gets a
+// verdict, no panics, and valid marshaled segments round-trip to their
+// flag classification.
+func FuzzClassify(f *testing.F) {
+	seg := Build(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"),
+		1, 2, 3, 4, FlagSYN)
+	f.Add(seg.Marshal(nil))
+	f.Add([]byte{})
+	f.Add(make([]byte, 19))
+	f.Add(make([]byte, 40))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		kind := Classify(raw)
+		if kind > KindOther {
+			t.Fatalf("impossible kind %d", kind)
+		}
+		// If it classified as TCP, Unmarshal must also succeed and
+		// agree, except for packets with IP options (IHL > 5), which
+		// Classify handles but the fixed-header codec rejects.
+		if kind != KindNotTCP && raw[0]&0x0f == 5 {
+			var s Segment
+			if err := s.Unmarshal(raw[:min(len(raw), 40)]); err == nil {
+				if got := s.Kind(); got != kind {
+					t.Fatalf("Classify = %v but Segment.Kind = %v", kind, got)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSegmentUnmarshal asserts the segment codec never panics and that
+// successfully decoded segments re-marshal to a classifiable packet.
+func FuzzSegmentUnmarshal(f *testing.F) {
+	good := Build(netip.MustParseAddr("192.0.2.1"), netip.MustParseAddr("192.0.2.2"),
+		80, 443, 7, 9, FlagSYN|FlagACK)
+	f.Add(good.Marshal(nil))
+	f.Add(make([]byte, 40))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var s Segment
+		if err := s.Unmarshal(raw); err != nil {
+			return
+		}
+		out := s.Marshal(nil)
+		if Classify(out) != s.Kind() {
+			t.Fatalf("re-marshaled segment classifies differently")
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+package packet
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	addrA = netip.MustParseAddr("10.1.0.5")
+	addrB = netip.MustParseAddr("192.168.7.9")
+)
+
+func TestClassifyFlags(t *testing.T) {
+	tests := []struct {
+		name  string
+		flags uint8
+		want  Kind
+	}{
+		{"pure syn", FlagSYN, KindSYN},
+		{"syn-ack", FlagSYN | FlagACK, KindSYNACK},
+		{"pure ack", FlagACK, KindOther},
+		{"fin", FlagFIN, KindFIN},
+		{"fin-ack", FlagFIN | FlagACK, KindFIN},
+		{"rst", FlagRST, KindRST},
+		{"rst-ack", FlagRST | FlagACK, KindRST},
+		{"rst beats fin", FlagRST | FlagFIN, KindRST},
+		{"syn beats rst", FlagSYN | FlagRST, KindSYN},
+		{"nothing", 0, KindOther},
+		{"psh-ack data", FlagPSH | FlagACK, KindOther},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClassifyFlags(tt.flags); got != tt.want {
+				t.Errorf("ClassifyFlags(%#x) = %v, want %v", tt.flags, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	pairs := map[Kind]string{
+		KindNotTCP: "not-tcp",
+		KindSYN:    "syn",
+		KindSYNACK: "syn-ack",
+		KindFIN:    "fin",
+		KindRST:    "rst",
+		KindOther:  "other",
+		Kind(200):  "kind(200)",
+	}
+	for k, want := range pairs {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	seg := Build(addrA, addrB, 1234, 80, 1000, 0, FlagSYN)
+	raw := seg.Marshal(nil)
+	if len(raw) != IPv4HeaderLen+TCPHeaderLen {
+		t.Fatalf("marshaled length = %d, want 40", len(raw))
+	}
+	var back Segment
+	if err := back.Unmarshal(raw); err != nil {
+		t.Fatal(err)
+	}
+	if back.IP.Src != addrA || back.IP.Dst != addrB {
+		t.Errorf("addresses = %v -> %v", back.IP.Src, back.IP.Dst)
+	}
+	if back.TCP.SrcPort != 1234 || back.TCP.DstPort != 80 {
+		t.Errorf("ports = %d -> %d", back.TCP.SrcPort, back.TCP.DstPort)
+	}
+	if back.TCP.Seq != 1000 || back.TCP.Flags != FlagSYN {
+		t.Errorf("seq/flags = %d/%#x", back.TCP.Seq, back.TCP.Flags)
+	}
+	if back.Kind() != KindSYN {
+		t.Errorf("Kind = %v, want syn", back.Kind())
+	}
+}
+
+func TestIPv4HeaderChecksumValid(t *testing.T) {
+	seg := Build(addrA, addrB, 5, 6, 7, 8, FlagACK)
+	raw := seg.Marshal(nil)
+	// Recomputing the checksum over the header including the stored
+	// checksum must give zero (i.e. Checksum returns 0xffff-complement).
+	if got := Checksum(raw[:IPv4HeaderLen], 0); got != 0 {
+		t.Errorf("IP header checksum residue = %#x, want 0", got)
+	}
+}
+
+func TestTCPChecksumValid(t *testing.T) {
+	seg := Build(addrA, addrB, 443, 55555, 42, 99, FlagSYN|FlagACK)
+	raw := seg.Marshal(nil)
+	if !VerifyTCPChecksum(raw) {
+		t.Error("TCP checksum did not verify")
+	}
+	// Corrupt one byte of the TCP header: verification must fail.
+	raw[IPv4HeaderLen+4] ^= 0xff
+	if VerifyTCPChecksum(raw) {
+		t.Error("corrupted packet still verified")
+	}
+}
+
+func TestClassifyRawPackets(t *testing.T) {
+	mk := func(flags uint8) []byte {
+		seg := Build(addrA, addrB, 1, 2, 3, 4, flags)
+		return seg.Marshal(nil)
+	}
+	tests := []struct {
+		name string
+		raw  []byte
+		want Kind
+	}{
+		{"syn", mk(FlagSYN), KindSYN},
+		{"synack", mk(FlagSYN | FlagACK), KindSYNACK},
+		{"rst", mk(FlagRST), KindRST},
+		{"fin", mk(FlagFIN | FlagACK), KindFIN},
+		{"data", mk(FlagACK | FlagPSH), KindOther},
+		{"empty", nil, KindNotTCP},
+		{"short", make([]byte, 10), KindNotTCP},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(tt.raw); got != tt.want {
+				t.Errorf("Classify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyRejectsNonTCP(t *testing.T) {
+	seg := Build(addrA, addrB, 1, 2, 3, 4, FlagSYN)
+	raw := seg.Marshal(nil)
+	raw[9] = 17 // UDP
+	// Fix the IP checksum so only the protocol distinguishes it.
+	raw[10], raw[11] = 0, 0
+	if got := Classify(raw); got != KindNotTCP {
+		t.Errorf("UDP packet classified as %v", got)
+	}
+}
+
+func TestClassifyRejectsFragments(t *testing.T) {
+	seg := Build(addrA, addrB, 1, 2, 3, 4, FlagSYN)
+	seg.IP.FragOff = 8
+	raw := seg.Marshal(nil)
+	if got := Classify(raw); got != KindNotTCP {
+		t.Errorf("offset fragment classified as %v", got)
+	}
+	seg.IP.FragOff = 0
+	seg.IP.MoreFrag = true
+	raw = seg.Marshal(nil)
+	if got := Classify(raw); got != KindNotTCP {
+		t.Errorf("MF fragment classified as %v", got)
+	}
+}
+
+func TestClassifyRejectsIPv6Version(t *testing.T) {
+	seg := Build(addrA, addrB, 1, 2, 3, 4, FlagSYN)
+	raw := seg.Marshal(nil)
+	raw[0] = 6<<4 | 5
+	if got := Classify(raw); got != KindNotTCP {
+		t.Errorf("version-6 packet classified as %v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var ip IPv4Header
+	if err := ip.Unmarshal(make([]byte, 5)); err != ErrTruncated {
+		t.Errorf("short IP: %v, want ErrTruncated", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 6<<4 | 5
+	if err := ip.Unmarshal(bad); err != ErrNotIPv4 {
+		t.Errorf("v6: %v, want ErrNotIPv4", err)
+	}
+	bad[0] = 4<<4 | 6 // IHL 6: options present
+	if err := ip.Unmarshal(bad); err != ErrBadHdrLen {
+		t.Errorf("options: %v, want ErrBadHdrLen", err)
+	}
+
+	var tcp TCPHeader
+	if err := tcp.Unmarshal(make([]byte, 19)); err != ErrTruncated {
+		t.Errorf("short TCP: %v, want ErrTruncated", err)
+	}
+	badTCP := make([]byte, 20)
+	badTCP[12] = 4 << 4 // data offset 16 bytes < 20
+	if err := tcp.Unmarshal(badTCP); err != ErrBadHdrLen {
+		t.Errorf("small data offset: %v, want ErrBadHdrLen", err)
+	}
+
+	var seg Segment
+	built := Build(addrA, addrB, 1, 2, 3, 4, 0)
+	raw := built.Marshal(nil)
+	raw[9] = 17 // UDP
+	if err := seg.Unmarshal(raw); err != ErrNotTCP {
+		t.Errorf("UDP segment: %v, want ErrNotTCP", err)
+	}
+	raw[9] = ProtocolTCP
+	raw[6] = 0x20 // MF
+	if err := seg.Unmarshal(raw); err != ErrFragmented {
+		t.Errorf("fragment: %v, want ErrFragmented", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 style example: checksum of {0x00,0x01,0xf2,0x03,0xf4,0xf5,0xf6,0xf7}.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+	// Odd-length input pads with a zero byte.
+	odd := []byte{0xab}
+	if got := Checksum(odd, 0); got != ^uint16(0xab00) {
+		t.Errorf("odd checksum = %#x, want %#x", got, ^uint16(0xab00))
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips every header field.
+func TestSegmentRoundTripProperty(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint8, a, b [4]byte) bool {
+		src := netip.AddrFrom4(a)
+		dst := netip.AddrFrom4(b)
+		seg := Build(src, dst, srcPort, dstPort, seq, ack, flags)
+		raw := seg.Marshal(nil)
+		var back Segment
+		if err := back.Unmarshal(raw); err != nil {
+			return false
+		}
+		return back.IP.Src == src && back.IP.Dst == dst &&
+			back.TCP.SrcPort == srcPort && back.TCP.DstPort == dstPort &&
+			back.TCP.Seq == seq && back.TCP.Ack == ack &&
+			back.TCP.Flags == flags && VerifyTCPChecksum(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Classify on marshaled segments agrees with ClassifyFlags.
+func TestClassifyAgreesWithFlagsProperty(t *testing.T) {
+	f := func(flags uint8) bool {
+		seg := Build(addrA, addrB, 1, 2, 3, 4, flags)
+		raw := seg.Marshal(nil)
+		return Classify(raw) == ClassifyFlags(flags)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Classify never panics on arbitrary bytes.
+func TestClassifyRobustProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		_ = Classify(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	syn := Build(addrA, addrB, 1234, 80, 1, 0, FlagSYN)
+	raw := syn.Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Classify(raw) != KindSYN {
+			b.Fatal("misclassified")
+		}
+	}
+}
+
+func BenchmarkSegmentMarshal(b *testing.B) {
+	seg := Build(addrA, addrB, 1234, 80, 1, 0, FlagSYN)
+	buf := make([]byte, 0, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = seg.Marshal(buf[:0])
+	}
+}

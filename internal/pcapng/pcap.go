@@ -1,0 +1,212 @@
+// Package pcapng reads and writes the classic libpcap capture format
+// (the .pcap container, magic 0xa1b2c3d4) using only the standard
+// library. The SYN-dog tooling uses it so synthetic traces round-trip
+// through tcpdump/wireshark-compatible files.
+//
+// Both microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants
+// are supported for reading, in either byte order; writing always
+// emits the little-endian microsecond variant with LINKTYPE_RAW
+// (packets start directly at the IPv4 header), which matches how the
+// simulator produces packets: there is no Ethernet layer.
+package pcapng
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Link types relevant to this repository.
+const (
+	// LinkTypeRaw means packets begin with the IP header (DLT_RAW=101).
+	LinkTypeRaw = 101
+	// LinkTypeEthernet is accepted on read; the 14-byte MAC header is
+	// preserved in Packet.Data for the caller to skip.
+	LinkTypeEthernet = 1
+)
+
+const (
+	magicMicro        = 0xa1b2c3d4
+	magicNano         = 0xa1b23c4d
+	magicMicroSwapped = 0xd4c3b2a1
+	magicNanoSwapped  = 0x4d3cb2a1
+	versionMajor      = 2
+	versionMinor      = 4
+	fileHeaderLen     = 24
+	recordHeaderLen   = 16
+)
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic  = errors.New("pcapng: bad magic number")
+	ErrTruncated = errors.New("pcapng: truncated file")
+	ErrTooLarge  = errors.New("pcapng: packet exceeds snap length")
+)
+
+// Packet is one captured packet: a timestamp relative to an arbitrary
+// epoch and the raw bytes starting at the link layer.
+type Packet struct {
+	// Ts is the capture timestamp. Readers express it as a Duration
+	// since the Unix epoch of the capture; the SYN-dog pipeline only
+	// uses differences, so the epoch is irrelevant.
+	Ts time.Duration
+	// Data is the captured bytes (snap-length truncated, like libpcap).
+	Data []byte
+}
+
+// Writer emits a pcap stream. Construct with NewWriter, Add packets,
+// and check the error of every call (Writer is a thin shim over an
+// io.Writer and performs no buffering of its own).
+type Writer struct {
+	w       io.Writer
+	snapLen uint32
+	scratch []byte
+}
+
+// NewWriter writes the pcap file header and returns a Writer. snapLen
+// bounds stored packet size; 0 selects the conventional 65535.
+func NewWriter(w io.Writer, snapLen uint32) (*Writer, error) {
+	if snapLen == 0 {
+		snapLen = 65535
+	}
+	var hdr [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicro)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapng: write header: %w", err)
+	}
+	return &Writer{w: w, snapLen: snapLen}, nil
+}
+
+// Write appends one packet record. Packets longer than the snap length
+// are rejected rather than silently truncated: the simulator controls
+// its packet sizes, so truncation would be a bug.
+func (w *Writer) Write(p Packet) error {
+	if uint32(len(p.Data)) > w.snapLen {
+		return ErrTooLarge
+	}
+	need := recordHeaderLen + len(p.Data)
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	buf := w.scratch[:need]
+	sec := uint32(p.Ts / time.Second)
+	usec := uint32((p.Ts % time.Second) / time.Microsecond)
+	binary.LittleEndian.PutUint32(buf[0:4], sec)
+	binary.LittleEndian.PutUint32(buf[4:8], usec)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(p.Data)))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(p.Data)))
+	copy(buf[recordHeaderLen:], p.Data)
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("pcapng: write record: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes a pcap stream.
+type Reader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nano     bool
+	linkType uint32
+	snapLen  uint32
+}
+
+// NewReader parses the file header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcapng: read header: %w", errTrunc(err))
+	}
+	rd := &Reader{r: r}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	switch magic {
+	case magicMicro:
+		rd.order = binary.LittleEndian
+	case magicNano:
+		rd.order, rd.nano = binary.LittleEndian, true
+	case magicMicroSwapped:
+		rd.order = binary.BigEndian
+	case magicNanoSwapped:
+		rd.order, rd.nano = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.snapLen = rd.order.Uint32(hdr[16:20])
+	rd.linkType = rd.order.Uint32(hdr[20:24])
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen returns the capture's snap length.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// Next returns the next packet, or io.EOF at a clean end of stream.
+// A partially written trailing record yields ErrTruncated.
+func (r *Reader) Next() (Packet, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, errTrunc(err)
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	frac := r.order.Uint32(hdr[4:8])
+	capLen := r.order.Uint32(hdr[8:12])
+	if r.snapLen > 0 && capLen > r.snapLen {
+		return Packet{}, fmt.Errorf("pcapng: record length %d exceeds snaplen %d", capLen, r.snapLen)
+	}
+	// Absolute sanity cap independent of the (attacker-controlled)
+	// snaplen field: no real capture stores 16 MiB frames, and a
+	// forged length must not drive allocation.
+	const maxRecord = 16 << 20
+	if capLen > maxRecord {
+		return Packet{}, fmt.Errorf("pcapng: record length %d exceeds sanity cap", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Packet{}, errTrunc(err)
+	}
+	ts := time.Duration(sec) * time.Second
+	if r.nano {
+		ts += time.Duration(frac) * time.Nanosecond
+	} else {
+		ts += time.Duration(frac) * time.Microsecond
+	}
+	return Packet{Ts: ts, Data: data}, nil
+}
+
+// ReadAll drains the stream into a slice.
+func ReadAll(r io.Reader) ([]Packet, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Packet
+	for {
+		p, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+func errTrunc(err error) error {
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return ErrTruncated
+	}
+	return err
+}

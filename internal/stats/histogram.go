@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates observations into fixed-width bins over a
+// half-open range [Lo, Hi). Observations below Lo land in an underflow
+// counter and observations at or above Hi in an overflow counter, so no
+// observation is ever silently dropped. The zero value is not usable;
+// construct with NewHistogram.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+}
+
+// NewHistogram returns a histogram with the given number of equal-width
+// bins covering [lo, hi). It panics if bins < 1 or hi <= lo, which are
+// programming errors rather than runtime conditions.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range must satisfy lo < hi")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]uint64, bins),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int((x - h.lo) / h.width)
+		if idx >= len(h.counts) { // float round-off at the upper edge
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded, including
+// under- and overflow.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the count of bin i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Bins returns the number of in-range bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Underflow returns how many observations fell below the range.
+func (h *Histogram) Underflow() uint64 { return h.underflow }
+
+// Overflow returns how many observations fell at or above the range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// BinEdges returns the [lo, hi) edges of bin i.
+func (h *Histogram) BinEdges(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Fraction returns the share of all observations that landed in bin i,
+// or 0 when the histogram is empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// String renders a compact ASCII bar chart, one line per bin, suitable
+// for terminal reports.
+func (h *Histogram) String() string {
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.counts {
+		lo, hi := h.BinEdges(i)
+		bar := 0
+		if peak > 0 {
+			bar = int(math.Round(float64(c) / float64(peak) * 40))
+		}
+		fmt.Fprintf(&sb, "[%10.3f, %10.3f) %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&sb, "underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&sb, "overflow %d\n", h.overflow)
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShortSeries is returned when a series is too short for the
+// requested estimator.
+var ErrShortSeries = errors.New("stats: series too short")
+
+// HurstRS estimates the Hurst exponent of xs with the classical
+// rescaled-range (R/S) method: the series is cut into non-overlapping
+// blocks of geometrically increasing sizes, E[R/S](n) is computed per
+// size, and H is the slope of log(R/S) against log(n) by least squares.
+//
+// H ≈ 0.5 indicates short-range dependence (Poisson-like); H in
+// (0.5, 1) indicates long-range dependence / self-similar burstiness
+// as reported for wide-area TCP arrivals (Paxson & Floyd). The
+// estimator needs at least 32 points.
+func HurstRS(xs []float64) (float64, error) {
+	n := len(xs)
+	if n < 32 {
+		return 0, ErrShortSeries
+	}
+	var logN, logRS []float64
+	for size := 8; size <= n/4; size *= 2 {
+		rs := averageRS(xs, size)
+		if rs <= 0 {
+			continue
+		}
+		logN = append(logN, math.Log(float64(size)))
+		logRS = append(logRS, math.Log(rs))
+	}
+	if len(logN) < 2 {
+		return 0, ErrShortSeries
+	}
+	slope, _ := linearFit(logN, logRS)
+	return slope, nil
+}
+
+// averageRS returns mean R/S over all complete blocks of the given size.
+func averageRS(xs []float64, size int) float64 {
+	blocks := len(xs) / size
+	if blocks == 0 {
+		return 0
+	}
+	total := 0.0
+	counted := 0
+	for b := 0; b < blocks; b++ {
+		block := xs[b*size : (b+1)*size]
+		if rs, ok := rescaledRange(block); ok {
+			total += rs
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// rescaledRange computes R/S of one block: range of the mean-adjusted
+// cumulative sum divided by the block standard deviation.
+func rescaledRange(block []float64) (float64, bool) {
+	m := Mean(block)
+	var cum, minCum, maxCum, ss float64
+	for _, x := range block {
+		d := x - m
+		cum += d
+		if cum < minCum {
+			minCum = cum
+		}
+		if cum > maxCum {
+			maxCum = cum
+		}
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(block)))
+	if sd == 0 {
+		return 0, false
+	}
+	return (maxCum - minCum) / sd, true
+}
+
+// linearFit returns the least-squares slope and intercept of y on x.
+// Both slices must have equal, nonzero length (the caller guarantees
+// this); degenerate inputs yield slope 0.
+func linearFit(x, y []float64) (slope, intercept float64) {
+	n := float64(len(x))
+	if n == 0 {
+		return 0, 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0, my
+	}
+	slope = num / den
+	return slope, my - slope*mx
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+)
+
+// VarianceTimeHurst estimates the Hurst exponent with the
+// variance-time method, the classic complement to R/S: the series is
+// aggregated at geometrically increasing block sizes m, and for a
+// self-similar process Var(X^(m)) ~ m^(2H-2), so the slope β of
+// log Var against log m gives H = 1 + β/2.
+//
+// Together with HurstRS it lets trace tests cross-check that the
+// synthetic background exhibits the long-range dependence measured in
+// real wide-area TCP arrivals (H ≈ 0.7-0.9) rather than Poisson
+// smoothness (H = 0.5). Needs at least 64 points.
+func VarianceTimeHurst(xs []float64) (float64, error) {
+	n := len(xs)
+	if n < 64 {
+		return 0, ErrShortSeries
+	}
+	var logM, logVar []float64
+	for m := 1; m <= n/8; m *= 2 {
+		agg := aggregateMeans(xs, m)
+		v := Variance(agg)
+		if v <= 0 {
+			continue
+		}
+		logM = append(logM, math.Log(float64(m)))
+		logVar = append(logVar, math.Log(v))
+	}
+	if len(logM) < 3 {
+		return 0, ErrShortSeries
+	}
+	slope, _ := linearFit(logM, logVar)
+	h := 1 + slope/2
+	return h, nil
+}
+
+// aggregateMeans averages non-overlapping blocks of size m.
+func aggregateMeans(xs []float64, m int) []float64 {
+	blocks := len(xs) / m
+	out := make([]float64, blocks)
+	for b := 0; b < blocks; b++ {
+		sum := 0.0
+		for i := b * m; i < (b+1)*m; i++ {
+			sum += xs[i]
+		}
+		out[b] = sum / float64(m)
+	}
+	return out
+}
+
+// IndexOfDispersion returns Var/Mean of the series — 1 for Poisson
+// counts, > 1 for bursty (overdispersed) counts. Returns 0 for a
+// zero-mean series.
+func IndexOfDispersion(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Variance(xs) / m
+}

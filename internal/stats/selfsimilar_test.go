@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVarianceTimeHurstWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h, err := VarianceTimeHurst(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.35 || h > 0.62 {
+		t.Errorf("white-noise variance-time H = %v, want ≈0.5", h)
+	}
+}
+
+func TestVarianceTimeHurstPersistentSeries(t *testing.T) {
+	// Sum of a slowly-varying regime signal and noise: strong positive
+	// correlation across aggregation levels -> H well above 0.5.
+	rng := rand.New(rand.NewSource(22))
+	xs := make([]float64, 8192)
+	level := 0.0
+	for i := range xs {
+		if i%64 == 0 {
+			level = 3 * rng.NormFloat64()
+		}
+		xs[i] = level + 0.3*rng.NormFloat64()
+	}
+	h, err := VarianceTimeHurst(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.7 {
+		t.Errorf("persistent-series H = %v, want > 0.7", h)
+	}
+}
+
+func TestVarianceTimeHurstShortSeries(t *testing.T) {
+	if _, err := VarianceTimeHurst(make([]float64, 10)); err != ErrShortSeries {
+		t.Errorf("error = %v, want ErrShortSeries", err)
+	}
+	// Constant series: zero variance at every level.
+	if _, err := VarianceTimeHurst(make([]float64, 128)); err != ErrShortSeries {
+		t.Errorf("constant series error = %v, want ErrShortSeries", err)
+	}
+}
+
+func TestAggregateMeans(t *testing.T) {
+	xs := []float64{1, 3, 5, 7, 9, 11}
+	got := aggregateMeans(xs, 2)
+	want := []float64{2, 6, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("agg[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Partial trailing block is dropped.
+	if got := aggregateMeans(xs, 4); len(got) != 1 || got[0] != 4 {
+		t.Errorf("m=4 agg = %v, want [4]", got)
+	}
+}
+
+func TestIndexOfDispersion(t *testing.T) {
+	// Poisson-like counts: IoD ≈ 1.
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		// Sum of 100 Bernoulli(0.5) ≈ binomial: IoD = 1-p = 0.5.
+		c := 0.0
+		for j := 0; j < 100; j++ {
+			if rng.Float64() < 0.5 {
+				c++
+			}
+		}
+		xs[i] = c
+	}
+	iod := IndexOfDispersion(xs)
+	if iod < 0.4 || iod > 0.6 {
+		t.Errorf("binomial IoD = %v, want ≈0.5", iod)
+	}
+	if IndexOfDispersion(make([]float64, 10)) != 0 {
+		t.Error("zero-mean IoD should be 0")
+	}
+}

@@ -1,0 +1,228 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file models the complete TCP connection state diagram that the
+// paper reproduces as its Figure 1 (normal connection establishment
+// and teardown, after Stevens): eleven states and the transitions
+// among them, as a pure transition system. The handshake endpoints in
+// tcp.go embed the subset they need; this machine exists so the
+// substrate covers the whole lifecycle (the last-mile SYN-FIN pairing
+// depends on teardown behaving like Figure 1) and so tests can assert
+// the diagram edge by edge.
+
+// State is a TCP connection state (RFC 793 / Figure 1 of the paper).
+type State uint8
+
+// The eleven TCP states.
+const (
+	Closed State = iota
+	Listen
+	SynSent
+	SynRcvd
+	Established
+	FinWait1
+	FinWait2
+	CloseWait
+	Closing
+	LastAck
+	TimeWait
+)
+
+var stateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK",
+	"TIME_WAIT",
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Event is a state-machine input: an application call, an arriving
+// segment, or a timer expiry.
+type Event uint8
+
+// Events.
+const (
+	// EvPassiveOpen is the application's listen().
+	EvPassiveOpen Event = iota + 1
+	// EvActiveOpen is the application's connect(); sends SYN.
+	EvActiveOpen
+	// EvClose is the application's close(); sends FIN from synchronized
+	// states.
+	EvClose
+	// EvRcvSyn is an arriving SYN.
+	EvRcvSyn
+	// EvRcvSynAck is an arriving SYN/ACK.
+	EvRcvSynAck
+	// EvRcvAckOfSyn is an ACK completing our SYN/ACK (3rd handshake leg).
+	EvRcvAckOfSyn
+	// EvRcvFin is an arriving FIN.
+	EvRcvFin
+	// EvRcvAckOfFin is an ACK acknowledging our FIN.
+	EvRcvAckOfFin
+	// EvRcvRst is an arriving RST.
+	EvRcvRst
+	// Ev2MSLTimeout is the TIME_WAIT 2MSL timer expiry.
+	Ev2MSLTimeout
+)
+
+var eventNames = map[Event]string{
+	EvPassiveOpen: "passive-open",
+	EvActiveOpen:  "active-open",
+	EvClose:       "close",
+	EvRcvSyn:      "rcv-syn",
+	EvRcvSynAck:   "rcv-syn-ack",
+	EvRcvAckOfSyn: "rcv-ack-of-syn",
+	EvRcvFin:      "rcv-fin",
+	EvRcvAckOfFin: "rcv-ack-of-fin",
+	EvRcvRst:      "rcv-rst",
+	Ev2MSLTimeout: "2msl-timeout",
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if s, ok := eventNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Output is what the machine emits on a transition.
+type Output uint8
+
+// Outputs.
+const (
+	// OutNone emits nothing.
+	OutNone Output = iota
+	// OutSyn sends a SYN.
+	OutSyn
+	// OutSynAck sends a SYN/ACK.
+	OutSynAck
+	// OutAck sends an ACK.
+	OutAck
+	// OutFin sends a FIN.
+	OutFin
+	// OutFinAck sends ACK then FIN (CLOSE in CLOSE_WAIT collapses to
+	// the FIN; kept distinct for observability in tests).
+	OutFinAck
+)
+
+// ErrInvalidTransition reports an event that is not legal in the
+// current state per Figure 1.
+var ErrInvalidTransition = errors.New("tcp: invalid transition")
+
+// transitionKey indexes the transition table.
+type transitionKey struct {
+	state State
+	event Event
+}
+
+type transitionValue struct {
+	next State
+	out  Output
+}
+
+// transitions is Figure 1 of the paper, edge by edge. RST from any
+// synchronized or handshaking state returns to CLOSED and is handled
+// in Step (not tabulated per-state).
+var transitions = map[transitionKey]transitionValue{
+	// Opening.
+	{Closed, EvPassiveOpen}: {Listen, OutNone},
+	{Closed, EvActiveOpen}:  {SynSent, OutSyn},
+	{Listen, EvRcvSyn}:      {SynRcvd, OutSynAck},
+	// LISTEN can also actively open (rare but in RFC 793).
+	{Listen, EvActiveOpen}: {SynSent, OutSyn},
+
+	{SynSent, EvRcvSynAck}: {Established, OutAck},
+	// Simultaneous open: both sides sent SYN; each answers SYN/ACK.
+	{SynSent, EvRcvSyn}: {SynRcvd, OutSynAck},
+	{SynSent, EvClose}:  {Closed, OutNone},
+
+	{SynRcvd, EvRcvAckOfSyn}: {Established, OutNone},
+	// Active close straight from SYN_RCVD (application closed early).
+	{SynRcvd, EvClose}: {FinWait1, OutFin},
+
+	// Active close.
+	{Established, EvClose}:    {FinWait1, OutFin},
+	{FinWait1, EvRcvAckOfFin}: {FinWait2, OutNone},
+	// Simultaneous close: FIN crosses ours.
+	{FinWait1, EvRcvFin}:      {Closing, OutAck},
+	{FinWait2, EvRcvFin}:      {TimeWait, OutAck},
+	{Closing, EvRcvAckOfFin}:  {TimeWait, OutNone},
+	{TimeWait, Ev2MSLTimeout}: {Closed, OutNone},
+
+	// Passive close.
+	{Established, EvRcvFin}:  {CloseWait, OutAck},
+	{CloseWait, EvClose}:     {LastAck, OutFin},
+	{LastAck, EvRcvAckOfFin}: {Closed, OutNone},
+}
+
+// Machine is one connection's state machine. The zero value starts in
+// CLOSED, as a fresh connection should.
+type Machine struct {
+	state State
+	trace []string // transition log for diagnostics
+}
+
+// State returns the current state.
+func (m *Machine) State() State { return m.state }
+
+// Step applies one event. It returns the emitted output, or
+// ErrInvalidTransition when Figure 1 has no such edge (the state does
+// not change in that case).
+func (m *Machine) Step(ev Event) (Output, error) {
+	// RST tears down everything except CLOSED/LISTEN (a listener
+	// survives RSTs; per RFC 793 a RST to LISTEN is ignored).
+	if ev == EvRcvRst {
+		switch m.state {
+		case Closed, Listen:
+			return OutNone, nil
+		default:
+			m.record(m.state, ev, Closed)
+			m.state = Closed
+			return OutNone, nil
+		}
+	}
+	tv, ok := transitions[transitionKey{m.state, ev}]
+	if !ok {
+		return OutNone, fmt.Errorf("%w: %v in %v", ErrInvalidTransition, ev, m.state)
+	}
+	m.record(m.state, ev, tv.next)
+	m.state = tv.next
+	return tv.out, nil
+}
+
+func (m *Machine) record(from State, ev Event, to State) {
+	m.trace = append(m.trace, fmt.Sprintf("%v --%v--> %v", from, ev, to))
+}
+
+// Trace returns the human-readable transition log.
+func (m *Machine) Trace() []string {
+	out := make([]string, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+// Synchronized reports whether the connection has completed its
+// handshake and not yet fully closed (the states in which data flows).
+func (s State) Synchronized() bool {
+	switch s {
+	case Established, FinWait1, FinWait2, CloseWait, Closing, LastAck, TimeWait:
+		return true
+	default:
+		return false
+	}
+}
+
+// HalfOpenState reports whether the state is one the victim's backlog
+// tracks (the resource SYN floods exhaust).
+func (s State) HalfOpenState() bool { return s == SynRcvd }

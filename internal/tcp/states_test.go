@@ -1,0 +1,216 @@
+package tcp
+
+import (
+	"errors"
+	"testing"
+)
+
+// step asserts one legal transition and its output.
+func step(t *testing.T, m *Machine, ev Event, wantState State, wantOut Output) {
+	t.Helper()
+	out, err := m.Step(ev)
+	if err != nil {
+		t.Fatalf("Step(%v) in %v: %v", ev, m.State(), err)
+	}
+	if m.State() != wantState {
+		t.Fatalf("after %v: state = %v, want %v", ev, m.State(), wantState)
+	}
+	if out != wantOut {
+		t.Fatalf("after %v: output = %d, want %d", ev, out, wantOut)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Closed.String() != "CLOSED" || TimeWait.String() != "TIME_WAIT" {
+		t.Error("state names wrong")
+	}
+	if State(99).String() != "state(99)" {
+		t.Error("unknown state name wrong")
+	}
+	if EvRcvSyn.String() != "rcv-syn" || Event(99).String() != "event(99)" {
+		t.Error("event names wrong")
+	}
+}
+
+// TestFigure1ClientPath walks the client-side (active) path of the
+// paper's Figure 1: active open -> ESTABLISHED -> active close ->
+// TIME_WAIT -> CLOSED.
+func TestFigure1ClientPath(t *testing.T) {
+	var m Machine
+	if m.State() != Closed {
+		t.Fatal("fresh machine not CLOSED")
+	}
+	step(t, &m, EvActiveOpen, SynSent, OutSyn)
+	step(t, &m, EvRcvSynAck, Established, OutAck)
+	step(t, &m, EvClose, FinWait1, OutFin)
+	step(t, &m, EvRcvAckOfFin, FinWait2, OutNone)
+	step(t, &m, EvRcvFin, TimeWait, OutAck)
+	step(t, &m, Ev2MSLTimeout, Closed, OutNone)
+	if len(m.Trace()) != 6 {
+		t.Errorf("trace length = %d, want 6", len(m.Trace()))
+	}
+}
+
+// TestFigure1ServerPath walks the server-side (passive) path: passive
+// open -> SYN_RCVD -> ESTABLISHED -> passive close -> CLOSED.
+func TestFigure1ServerPath(t *testing.T) {
+	var m Machine
+	step(t, &m, EvPassiveOpen, Listen, OutNone)
+	step(t, &m, EvRcvSyn, SynRcvd, OutSynAck)
+	step(t, &m, EvRcvAckOfSyn, Established, OutNone)
+	step(t, &m, EvRcvFin, CloseWait, OutAck)
+	step(t, &m, EvClose, LastAck, OutFin)
+	step(t, &m, EvRcvAckOfFin, Closed, OutNone)
+}
+
+// TestSimultaneousOpen: both ends in SYN_SENT receive the peer SYN.
+func TestSimultaneousOpen(t *testing.T) {
+	var m Machine
+	step(t, &m, EvActiveOpen, SynSent, OutSyn)
+	step(t, &m, EvRcvSyn, SynRcvd, OutSynAck)
+	step(t, &m, EvRcvAckOfSyn, Established, OutNone)
+}
+
+// TestSimultaneousClose: FINs cross on the wire.
+func TestSimultaneousClose(t *testing.T) {
+	var m Machine
+	step(t, &m, EvActiveOpen, SynSent, OutSyn)
+	step(t, &m, EvRcvSynAck, Established, OutAck)
+	step(t, &m, EvClose, FinWait1, OutFin)
+	step(t, &m, EvRcvFin, Closing, OutAck)
+	step(t, &m, EvRcvAckOfFin, TimeWait, OutNone)
+	step(t, &m, Ev2MSLTimeout, Closed, OutNone)
+}
+
+// TestEarlyCloseFromSynRcvd: a server whose application closes before
+// the handshake completes goes straight to FIN_WAIT_1.
+func TestEarlyCloseFromSynRcvd(t *testing.T) {
+	var m Machine
+	step(t, &m, EvPassiveOpen, Listen, OutNone)
+	step(t, &m, EvRcvSyn, SynRcvd, OutSynAck)
+	step(t, &m, EvClose, FinWait1, OutFin)
+}
+
+// TestAbortBeforeHandshake: close() in SYN_SENT abandons quietly.
+func TestAbortBeforeHandshake(t *testing.T) {
+	var m Machine
+	step(t, &m, EvActiveOpen, SynSent, OutSyn)
+	step(t, &m, EvClose, Closed, OutNone)
+}
+
+func TestRstSemantics(t *testing.T) {
+	// RST in a synchronized state kills the connection.
+	var m Machine
+	step(t, &m, EvActiveOpen, SynSent, OutSyn)
+	step(t, &m, EvRcvSynAck, Established, OutAck)
+	if _, err := m.Step(EvRcvRst); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != Closed {
+		t.Errorf("after RST: %v, want CLOSED", m.State())
+	}
+	// RST to a listener is ignored: the server keeps listening. This
+	// is why the victim's listening socket survives the flood even as
+	// its backlog dies.
+	var srv Machine
+	step(t, &srv, EvPassiveOpen, Listen, OutNone)
+	if _, err := srv.Step(EvRcvRst); err != nil {
+		t.Fatal(err)
+	}
+	if srv.State() != Listen {
+		t.Errorf("listener after RST: %v, want LISTEN", srv.State())
+	}
+	// RST in CLOSED is a no-op.
+	var idle Machine
+	if _, err := idle.Step(EvRcvRst); err != nil {
+		t.Fatal(err)
+	}
+	if idle.State() != Closed {
+		t.Error("CLOSED moved on RST")
+	}
+}
+
+func TestInvalidTransitionsRejected(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup []Event
+		ev    Event
+	}{
+		{"fin in closed", nil, EvRcvFin},
+		{"synack in listen", []Event{EvPassiveOpen}, EvRcvSynAck},
+		{"2msl in established", []Event{EvActiveOpen, EvRcvSynAck}, Ev2MSLTimeout},
+		{"close after close", []Event{EvActiveOpen, EvRcvSynAck, EvClose}, EvClose},
+		{"ack-of-syn in closed", nil, EvRcvAckOfSyn},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Machine
+			for _, ev := range tc.setup {
+				if _, err := m.Step(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := m.State()
+			if _, err := m.Step(tc.ev); !errors.Is(err, ErrInvalidTransition) {
+				t.Fatalf("error = %v, want ErrInvalidTransition", err)
+			}
+			if m.State() != before {
+				t.Error("failed transition changed state")
+			}
+		})
+	}
+}
+
+func TestSynchronizedClassification(t *testing.T) {
+	sync := []State{Established, FinWait1, FinWait2, CloseWait, Closing, LastAck, TimeWait}
+	unsync := []State{Closed, Listen, SynSent, SynRcvd}
+	for _, s := range sync {
+		if !s.Synchronized() {
+			t.Errorf("%v should be synchronized", s)
+		}
+	}
+	for _, s := range unsync {
+		if s.Synchronized() {
+			t.Errorf("%v should not be synchronized", s)
+		}
+	}
+	if !SynRcvd.HalfOpenState() || Established.HalfOpenState() {
+		t.Error("half-open classification wrong")
+	}
+}
+
+// TestHalfOpenNeverCloses is the flood's essence expressed on the
+// state machine: a spoofed handshake parks the server in SYN_RCVD and,
+// absent the final ACK, only RST or timeout (modeled by the endpoint's
+// reaper, not the machine) ever moves it — Figure 1 has no spontaneous
+// SYN_RCVD exit.
+func TestHalfOpenNeverCloses(t *testing.T) {
+	var m Machine
+	step(t, &m, EvPassiveOpen, Listen, OutNone)
+	step(t, &m, EvRcvSyn, SynRcvd, OutSynAck)
+	for _, ev := range []Event{EvRcvFin, EvRcvSynAck, Ev2MSLTimeout, EvRcvAckOfFin} {
+		if _, err := m.Step(ev); err == nil {
+			t.Fatalf("%v should not move SYN_RCVD", ev)
+		}
+	}
+	if m.State() != SynRcvd {
+		t.Error("half-open state drifted")
+	}
+}
+
+// TestEveryTabledTransitionReachable exercises each tabled edge at
+// least once by brute force from its source state.
+func TestEveryTabledTransitionReachable(t *testing.T) {
+	for key, val := range transitions {
+		m := Machine{state: key.state}
+		out, err := m.Step(key.event)
+		if err != nil {
+			t.Errorf("tabled edge %v --%v--> rejected: %v", key.state, key.event, err)
+			continue
+		}
+		if m.State() != val.next || out != val.out {
+			t.Errorf("edge %v --%v--> got (%v,%d), want (%v,%d)",
+				key.state, key.event, m.State(), out, val.next, val.out)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strings"
+)
+
+// Load reads a trace file, picking the codec from the extension:
+//
+//	.trace/.bin  binary
+//	.csv         text
+//	.pcap        libpcap (needs stubPrefix for direction inference)
+//	.txt/.dump   tcpdump text (needs stubPrefix)
+//	any + .gz    gzip-wrapped version of the inner extension
+//
+// Unknown extensions fall back to the binary codec.
+func Load(path string, stubPrefix netip.Prefix) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var r io.Reader = f
+	name := path
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: gzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+		name = strings.TrimSuffix(path, ".gz")
+	}
+
+	switch {
+	case strings.HasSuffix(name, ".csv"):
+		return ReadCSV(r)
+	case strings.HasSuffix(name, ".pcap"):
+		if !stubPrefix.IsValid() {
+			return nil, fmt.Errorf("trace: %s needs a stub prefix for direction inference", path)
+		}
+		return ReadPcap(r, path, stubPrefix)
+	case strings.HasSuffix(name, ".txt"), strings.HasSuffix(name, ".dump"):
+		if !stubPrefix.IsValid() {
+			return nil, fmt.Errorf("trace: %s needs a stub prefix for direction inference", path)
+		}
+		return ReadTcpdump(r, path, stubPrefix)
+	default:
+		return ReadBinary(r)
+	}
+}
+
+// Save writes a trace file, picking the codec from the extension (same
+// rules as Load; pcap and tcpdump-text direction metadata is implicit
+// in addresses, so all formats are writable except tcpdump text, which
+// is an import-only format).
+func Save(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var w io.Writer = f
+	var gz *gzip.Writer
+	name := path
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+		name = strings.TrimSuffix(path, ".gz")
+	}
+
+	switch {
+	case strings.HasSuffix(name, ".csv"):
+		err = WriteCSV(w, tr)
+	case strings.HasSuffix(name, ".pcap"):
+		err = WritePcap(w, tr)
+	case strings.HasSuffix(name, ".txt"), strings.HasSuffix(name, ".dump"):
+		err = fmt.Errorf("trace: tcpdump text is import-only")
+	default:
+		err = WriteBinary(w, tr)
+	}
+	if err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

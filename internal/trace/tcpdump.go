@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// ReadTcpdump imports the text output of `tcpdump -n` — the format the
+// original mid-1990s traces circulated in — and converts it to a
+// Trace. Lines look like:
+//
+//	12:00:00.123456 IP 10.1.2.3.443 > 192.168.1.5.51234: Flags [S.], seq 1, ...
+//
+// Only TCP lines carrying a Flags field are ingested; everything else
+// (ARP, UDP, ICMP, continuation lines) is skipped, mirroring how the
+// leaf-router classifier ignores non-TCP traffic. Direction is
+// assigned by destination relative to stubPrefix, like ReadPcap.
+// Timestamps are wall-clock times of day; the trace clock starts at
+// the first accepted packet, and a backward jump of more than half a
+// day is treated as midnight rollover.
+func ReadTcpdump(r io.Reader, name string, stubPrefix netip.Prefix) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	t := &Trace{Name: name}
+	var (
+		haveBase  bool
+		base      time.Duration // first packet's time of day
+		dayOffset time.Duration
+		prevTOD   time.Duration
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		rec, tod, ok, err := parseTcpdumpLine(sc.Text(), stubPrefix)
+		if err != nil {
+			return nil, fmt.Errorf("trace: tcpdump line %d: %w", lineNo, err)
+		}
+		if !ok {
+			continue
+		}
+		if !haveBase {
+			haveBase = true
+			base = tod
+			prevTOD = tod
+		}
+		if tod < prevTOD-12*time.Hour {
+			dayOffset += 24 * time.Hour
+		}
+		prevTOD = tod
+		rec.Ts = tod + dayOffset - base
+		t.Records = append(t.Records, rec)
+		if rec.Ts >= t.Span {
+			t.Span = rec.Ts + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t.Sort()
+	return t, nil
+}
+
+// parseTcpdumpLine extracts one record; ok=false means skip the line.
+func parseTcpdumpLine(line string, stubPrefix netip.Prefix) (Record, time.Duration, bool, error) {
+	fields := strings.Fields(line)
+	// Minimal shape: ts IP src > dst: Flags [..]
+	if len(fields) < 7 || fields[1] != "IP" || fields[3] != ">" {
+		return Record{}, 0, false, nil
+	}
+	flagsIdx := -1
+	for i, f := range fields {
+		if f == "Flags" {
+			flagsIdx = i
+			break
+		}
+	}
+	if flagsIdx < 0 || flagsIdx+1 >= len(fields) {
+		return Record{}, 0, false, nil // not a TCP line
+	}
+
+	tod, err := parseTimeOfDay(fields[0])
+	if err != nil {
+		return Record{}, 0, false, err
+	}
+	src, srcPort, err := parseHostPort(fields[2])
+	if err != nil {
+		return Record{}, 0, false, err
+	}
+	dstField := strings.TrimSuffix(fields[4], ":")
+	dst, dstPort, err := parseHostPort(dstField)
+	if err != nil {
+		return Record{}, 0, false, err
+	}
+	kind, err := parseTcpdumpFlags(fields[flagsIdx+1])
+	if err != nil {
+		return Record{}, 0, false, err
+	}
+
+	dir := DirOut
+	if stubPrefix.Contains(dst) {
+		dir = DirIn
+	}
+	return Record{
+		Kind: kind, Dir: dir,
+		Src: src, Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort,
+	}, tod, true, nil
+}
+
+// parseTimeOfDay parses HH:MM:SS[.frac].
+func parseTimeOfDay(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad timestamp %q", s)
+	}
+	h, err := strconv.Atoi(parts[0])
+	if err != nil || h < 0 || h > 23 {
+		return 0, fmt.Errorf("bad hour in %q", s)
+	}
+	m, err := strconv.Atoi(parts[1])
+	if err != nil || m < 0 || m > 59 {
+		return 0, fmt.Errorf("bad minute in %q", s)
+	}
+	sec, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || sec < 0 || sec >= 61 {
+		return 0, fmt.Errorf("bad second in %q", s)
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute +
+		time.Duration(sec*float64(time.Second)), nil
+}
+
+// parseHostPort splits "a.b.c.d.port" (tcpdump joins address and port
+// with a dot).
+func parseHostPort(s string) (netip.Addr, uint16, error) {
+	idx := strings.LastIndexByte(s, '.')
+	if idx <= 0 || idx == len(s)-1 {
+		return netip.Addr{}, 0, fmt.Errorf("bad host.port %q", s)
+	}
+	addr, err := netip.ParseAddr(s[:idx])
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("bad address in %q: %w", s, err)
+	}
+	port, err := strconv.ParseUint(s[idx+1:], 10, 16)
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("bad port in %q: %w", s, err)
+	}
+	return addr, uint16(port), nil
+}
+
+// parseTcpdumpFlags maps tcpdump's bracket notation to a Kind:
+// S=SYN, F=FIN, R=RST, P=PSH, U=URG, .=ACK (W/E/none ignored).
+func parseTcpdumpFlags(s string) (packet.Kind, error) {
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "["), "],")
+	s = strings.TrimSuffix(s, "]")
+	var flags uint8
+	for _, c := range s {
+		switch c {
+		case 'S':
+			flags |= packet.FlagSYN
+		case 'F':
+			flags |= packet.FlagFIN
+		case 'R':
+			flags |= packet.FlagRST
+		case 'P':
+			flags |= packet.FlagPSH
+		case 'U':
+			flags |= packet.FlagURG
+		case '.':
+			flags |= packet.FlagACK
+		case 'W', 'E', 'w', 'e', 'n':
+			// ECN bits / "none": irrelevant to classification.
+		default:
+			return 0, fmt.Errorf("unknown tcpdump flag %q in %q", string(c), s)
+		}
+	}
+	return packet.ClassifyFlags(flags), nil
+}
