@@ -1,7 +1,7 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test bench examples experiments fast-experiments fuzz clean
+.PHONY: all build vet test race bench examples experiments fast-experiments fuzz clean
 
 all: build vet test
 
@@ -13,6 +13,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full suite under the race detector: exercises the experiment worker
+# pool, the parallel fleet trials, and the syndogd replay/handler
+# locking.
+race:
+	$(GO) test -race ./...
 
 # Record the outputs the repository ships with.
 record:

@@ -24,13 +24,20 @@ import (
 )
 
 // benchOpts are the fast-mode options shared by the artifact benches.
+// Parallelism is pinned to 1 so the per-iteration cost measures the
+// sequential baseline; the *Parallel variants override it.
 func benchOpts(i int) experiment.Options {
-	return experiment.Options{Seed: int64(i + 1), Runs: 2, Fast: true}
+	return experiment.Options{Seed: int64(i + 1), Runs: 2, Fast: true, Parallelism: 1}
 }
 
 // runArtifact executes one registered experiment per iteration and
 // reports artifact count so the compiler cannot elide the work.
 func runArtifact(b *testing.B, id string) {
+	b.Helper()
+	runArtifactOpts(b, id, benchOpts)
+}
+
+func runArtifactOpts(b *testing.B, id string, opts func(i int) experiment.Options) {
 	b.Helper()
 	e, ok := experiment.Lookup(id)
 	if !ok {
@@ -39,7 +46,7 @@ func runArtifact(b *testing.B, id string) {
 	total := 0
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		arts, err := e.Func(benchOpts(i))
+		arts, err := e.Func(opts(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,6 +78,19 @@ func BenchmarkFig6Architecture(b *testing.B) { runArtifact(b, "fig6") }
 // BenchmarkTable2UNCDetection regenerates Table 2 (detection
 // probability and time at UNC across fi = 37..120 SYN/s).
 func BenchmarkTable2UNCDetection(b *testing.B) { runArtifact(b, "table2") }
+
+// BenchmarkTable2UNCDetectionParallel regenerates Table 2 with the
+// Monte-Carlo cells fanned over 4 workers. The artifact bytes are
+// identical to the sequential benchmark (same seed derivation); on a
+// multi-core host the wall clock is the speedup over
+// BenchmarkTable2UNCDetection.
+func BenchmarkTable2UNCDetectionParallel(b *testing.B) {
+	runArtifactOpts(b, "table2", func(i int) experiment.Options {
+		o := benchOpts(i)
+		o.Parallelism = 4
+		return o
+	})
+}
 
 // BenchmarkFig7UNCSensitivity regenerates Figure 7 (yn dynamics at
 // UNC under fi = 45/60/80 SYN/s floods).

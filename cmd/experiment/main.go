@@ -6,6 +6,11 @@
 //	experiment -run table2 -runs 50     # one artifact, more Monte-Carlo runs
 //	experiment -run fig5 -fast          # quick smoke rendering
 //	experiment -run table3 -csv out/    # also write machine-readable CSV
+//	experiment -run table2 -parallel 8  # fan Monte-Carlo cells over 8 workers
+//
+// Parallelism never changes the output: every Monte-Carlo cell derives
+// its own RNG from the seed, so -parallel 1 and -parallel 8 produce
+// byte-identical artifacts for the same -seed.
 //
 // Artifacts are printed as aligned text tables and ASCII plots; -csv
 // additionally writes one CSV file per artifact into the directory.
@@ -31,17 +36,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	var (
-		id   = fs.String("run", "all", "experiment id ("+strings.Join(experiment.SortedIDs(), ", ")+") or 'all'")
-		seed = fs.Int64("seed", 1, "random seed (same seed, same artifacts)")
-		runs = fs.Int("runs", 0, "Monte-Carlo runs for tables 2-3 (0 = default 20)")
-		fast = fs.Bool("fast", false, "shrink spans and runs for a quick smoke pass")
-		csv  = fs.String("csv", "", "directory to also write per-artifact CSV files into")
-		md   = fs.Bool("md", false, "print artifacts as markdown instead of text/ASCII")
+		id       = fs.String("run", "all", "experiment id ("+strings.Join(experiment.SortedIDs(), ", ")+") or 'all'")
+		seed     = fs.Int64("seed", 1, "random seed (same seed, same artifacts)")
+		runs     = fs.Int("runs", 0, "Monte-Carlo runs for tables 2-3 (0 = default 20)")
+		fast     = fs.Bool("fast", false, "shrink spans and runs for a quick smoke pass")
+		csv      = fs.String("csv", "", "directory to also write per-artifact CSV files into")
+		md       = fs.Bool("md", false, "print artifacts as markdown instead of text/ASCII")
+		parallel = fs.Int("parallel", 0, "worker count for Monte-Carlo cells (0 = one per CPU); output is identical at any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiment.Options{Seed: *seed, Runs: *runs, Fast: *fast}
+	opts := experiment.Options{Seed: *seed, Runs: *runs, Fast: *fast, Parallelism: *parallel}
 
 	var exps []experiment.Experiment
 	switch *id {

@@ -7,15 +7,23 @@
 // Usage:
 //
 //	syndogfleet -stubs 8 -flooders 3 -rate 240 -duration 3m
+//	syndogfleet -trials 4 -parallel 4          # independent campaigns, fanned out
 //
 // The report shows, per stub, whether its SYN-dog alarmed (ground
 // truth: does it host a slave?), the alarm latency, and the located
 // station; plus the victim's backlog trajectory.
+//
+// -trials runs that many independent campaigns (trial i uses seed+i)
+// through the experiment engine's worker pool; each trial renders into
+// its own buffer and the reports print in trial order, so the output
+// does not depend on -parallel.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/netip"
 	"os"
@@ -23,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eventsim"
+	"repro/internal/experiment"
 	"repro/internal/flood"
 	"repro/internal/mitigate"
 	"repro/internal/netsim"
@@ -43,6 +52,16 @@ type stubReport struct {
 	locator  *mitigate.Locator
 }
 
+// campaignConfig is one fully-parsed fleet campaign.
+type campaignConfig struct {
+	stubs, flooders int
+	totalRate       float64
+	duration, onset time.Duration
+	t0              time.Duration
+	benign          float64
+	seed            int64
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("syndogfleet", flag.ContinueOnError)
 	var (
@@ -54,6 +73,8 @@ func run(args []string) error {
 		t0        = fs.Duration("t0", 10*time.Second, "observation period")
 		benign    = fs.Float64("benign", 40, "legitimate connections/s per stub")
 		seed      = fs.Int64("seed", 1, "random seed")
+		trials    = fs.Int("trials", 1, "independent campaigns to run (trial i uses seed+i)")
+		parallel  = fs.Int("parallel", 0, "worker count for -trials > 1 (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,10 +85,40 @@ func run(args []string) error {
 	if *stubs < 1 || *stubs > 200 {
 		return fmt.Errorf("stubs must be in [1, 200]")
 	}
+	if *trials < 1 {
+		return fmt.Errorf("trials must be positive")
+	}
+	cfg := campaignConfig{
+		stubs: *stubs, flooders: *flooders, totalRate: *totalRate,
+		duration: *duration, onset: *onset, t0: *t0,
+		benign: *benign, seed: *seed,
+	}
+	if *trials == 1 {
+		return runCampaign(cfg, os.Stdout)
+	}
 
+	// Each trial is an independent simulation writing into its own
+	// buffer; the pool may run them in any order but the reports print
+	// in trial order, so output bytes are independent of -parallel.
+	bufs := make([]bytes.Buffer, *trials)
+	err := experiment.ForEach(*parallel, *trials, func(i int) error {
+		c := cfg
+		c.seed = cfg.seed + int64(i)
+		fmt.Fprintf(&bufs[i], "=== trial %d (seed %d) ===\n", i, c.seed)
+		return runCampaign(c, &bufs[i])
+	})
+	for i := range bufs {
+		os.Stdout.Write(bufs[i].Bytes())
+		fmt.Println()
+	}
+	return err
+}
+
+// runCampaign simulates one campaign and writes its report to w.
+func runCampaign(cfg campaignConfig, w io.Writer) error {
 	sim := eventsim.New()
 	cloud := netsim.NewInternet(sim)
-	rng := rand.New(rand.NewSource(*seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 
 	// Victim with a realistic backlog.
 	victimStub, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
@@ -108,10 +159,10 @@ func run(args []string) error {
 	destinations := append([]netip.Addr{victim.Addr}, responders...)
 
 	// Stubs, agents, slaves.
-	perStub := *totalRate / float64(*flooders)
+	perStub := cfg.totalRate / float64(cfg.flooders)
 	master := flood.NewMaster()
-	reports := make([]*stubReport, *stubs)
-	for i := 0; i < *stubs; i++ {
+	reports := make([]*stubReport, cfg.stubs)
+	for i := 0; i < cfg.stubs; i++ {
 		prefix := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", i+1))
 		sn, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
 			Prefix: prefix, Hosts: 2,
@@ -120,9 +171,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		sr := &stubReport{hasSlave: i < *flooders}
+		sr := &stubReport{hasSlave: i < cfg.flooders}
 		reports[i] = sr
-		if sr.agent, err = core.NewAgent(core.Config{T0: *t0}); err != nil {
+		if sr.agent, err = core.NewAgent(core.Config{T0: cfg.t0}); err != nil {
 			return err
 		}
 		if _, err = sr.agent.Install(sim, sn.Router); err != nil {
@@ -151,8 +202,8 @@ func run(args []string) error {
 					s.TCP.Ack, s.TCP.Seq+1, packet.FlagACK))
 			}
 		}
-		horizon := *onset + *duration + time.Minute
-		gap := time.Duration(float64(time.Second) / *benign)
+		horizon := cfg.onset + cfg.duration + time.Minute
+		gap := time.Duration(float64(time.Second) / cfg.benign)
 		for c := 0; c < int(horizon/gap); c++ {
 			c := c
 			dst := destinations[rng.Intn(len(destinations))]
@@ -165,7 +216,7 @@ func run(args []string) error {
 
 		if sr.hasSlave {
 			slave, err := flood.NewSlave(slaveHost, victim.Addr, 80,
-				flood.Constant{PerSecond: perStub}, *seed+int64(i))
+				flood.Constant{PerSecond: perStub}, cfg.seed+int64(i))
 			if err != nil {
 				return err
 			}
@@ -174,17 +225,17 @@ func run(args []string) error {
 	}
 
 	if master.Slaves() > 0 {
-		if err := master.Launch(sim, *onset, *duration); err != nil {
+		if err := master.Launch(sim, cfg.onset, cfg.duration); err != nil {
 			return err
 		}
 	}
 
-	fmt.Printf("fleet: %d stubs (%d flooding), V=%.0f SYN/s (fi=%.1f each), onset %v, duration %v\n\n",
-		*stubs, *flooders, *totalRate, perStub, *onset, *duration)
-	sim.RunUntil(*onset + *duration + time.Minute)
+	fmt.Fprintf(w, "fleet: %d stubs (%d flooding), V=%.0f SYN/s (fi=%.1f each), onset %v, duration %v\n\n",
+		cfg.stubs, cfg.flooders, cfg.totalRate, perStub, cfg.onset, cfg.duration)
+	sim.RunUntil(cfg.onset + cfg.duration + time.Minute)
 
 	correct := 0
-	onsetPeriod := int(*onset / *t0)
+	onsetPeriod := int(cfg.onset / cfg.t0)
 	for i, sr := range reports {
 		role := "clean "
 		if sr.hasSlave {
@@ -205,12 +256,12 @@ func run(args []string) error {
 		if !ok {
 			marker = "!"
 		}
-		fmt.Printf("%s stub %2d [%s] %s\n", marker, i, role, verdict)
+		fmt.Fprintf(w, "%s stub %2d [%s] %s\n", marker, i, role, verdict)
 	}
 	st := server.Stats()
-	fmt.Printf("\nvictim: %d SYNs, %d dropped (backlog full), %d established\n",
+	fmt.Fprintf(w, "\nvictim: %d SYNs, %d dropped (backlog full), %d established\n",
 		st.SynReceived, st.SynDropped, st.Established)
-	fmt.Printf("fleet accuracy: %d/%d stubs judged correctly\n", correct, len(reports))
+	fmt.Fprintf(w, "fleet accuracy: %d/%d stubs judged correctly\n", correct, len(reports))
 	if correct != len(reports) {
 		return fmt.Errorf("fleet verdicts disagree with ground truth")
 	}

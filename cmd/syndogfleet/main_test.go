@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+	"time"
+)
 
 func TestFleetEndToEnd(t *testing.T) {
 	// Small but complete fleet: the run fails with an error when any
@@ -34,5 +38,39 @@ func TestFleetValidation(t *testing.T) {
 	}
 	if err := run([]string{"-stubs", "1000"}); err == nil {
 		t.Error("absurd stub count accepted")
+	}
+	if err := run([]string{"-trials", "0"}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestFleetParallelTrials(t *testing.T) {
+	// Two independent campaigns fanned over two workers; each must
+	// still agree with its own ground truth.
+	err := run([]string{
+		"-stubs", "3", "-flooders", "1", "-rate", "80",
+		"-duration", "60s", "-onset", "20s", "-seed", "5",
+		"-trials", "2", "-parallel", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetCampaignDeterministic(t *testing.T) {
+	cfg := campaignConfig{
+		stubs: 3, flooders: 1, totalRate: 80,
+		duration: 60 * time.Second, onset: 20 * time.Second,
+		t0: 10 * time.Second, benign: 40, seed: 7,
+	}
+	var a, b bytes.Buffer
+	if err := runCampaign(cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCampaign(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different reports:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
 	}
 }

@@ -1,12 +1,36 @@
 package repro
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
+
+// buildBinaries compiles the named cmd/ binaries into dir and returns
+// their paths.
+func buildBinaries(t *testing.T, dir string, names ...string) map[string]string {
+	t.Helper()
+	bins := map[string]string{}
+	for _, name := range names {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	return bins
+}
 
 // TestCLIPipelineEndToEnd builds the actual shipped binaries and runs
 // the workflow the README advertises: synthesize a background trace,
@@ -17,16 +41,7 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 		t.Skip("builds binaries")
 	}
 	dir := t.TempDir()
-	bins := map[string]string{}
-	for _, name := range []string{"tracegen", "floodgen", "syndog"} {
-		out := filepath.Join(dir, name)
-		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
-		cmd.Env = os.Environ()
-		if b, err := cmd.CombinedOutput(); err != nil {
-			t.Fatalf("build %s: %v\n%s", name, err, b)
-		}
-		bins[name] = out
-	}
+	bins := buildBinaries(t, dir, "tracegen", "floodgen", "syndog")
 
 	bg := filepath.Join(dir, "bg.trace")
 	mixed := filepath.Join(dir, "mixed.trace")
@@ -68,5 +83,133 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 	// The verbose table must show the accumulation reaching past N.
 	if !strings.Contains(alarmed, "*** ALARM ***") {
 		t.Error("verbose period table missing alarm markers")
+	}
+}
+
+// TestDaemonEndToEnd runs syndogd against an accelerated flooded
+// replay and watches the live endpoints: /metrics period counts must
+// advance while the replay progresses, /reports must grow to match,
+// and the alarm must be raised by the time the replay completes.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir, "tracegen", "floodgen", "syndogd")
+
+	bg := filepath.Join(dir, "bg.trace")
+	mixed := filepath.Join(dir, "mixed.trace")
+	for _, args := range [][]string{
+		{bins["tracegen"], "-site", "auckland", "-span", "10m", "-seed", "4", "-o", bg},
+		{bins["floodgen"], "-in", bg, "-rate", "10", "-start", "2m", "-duration", "8m", "-o", mixed},
+	} {
+		if out, err := exec.Command(args[0], args[1:]...).CombinedOutput(); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+	}
+
+	// -speed 1200 replays one 20 s observation period per ~17 ms wall
+	// time, so the 10-minute trace drains in well under a second while
+	// still going through the timed replay path the daemon uses live.
+	cmd := exec.Command(bins["syndogd"], "-in", mixed, "-listen", "127.0.0.1:0", "-speed", "1200")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// The daemon announces its bound address on stderr.
+	sc := bufio.NewScanner(stderr)
+	if !sc.Scan() {
+		t.Fatalf("no stderr banner: %v", sc.Err())
+	}
+	m := regexp.MustCompile(`http://([0-9.]+:[0-9]+)`).FindStringSubmatch(sc.Text())
+	if m == nil {
+		t.Fatalf("banner without address: %q", sc.Text())
+	}
+	base := "http://" + m[1]
+	go io.Copy(io.Discard, stderr)
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metric := func(body, name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			if v, ok := strings.CutPrefix(line, name+" "); ok {
+				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					t.Fatalf("bad %s value %q", name, v)
+				}
+				return f
+			}
+		}
+		t.Fatalf("metric %s missing from:\n%s", name, body)
+		return 0
+	}
+
+	// Poll /metrics until the period counter has visibly advanced
+	// mid-replay, then until the full 30 periods are in.
+	deadline := time.Now().Add(15 * time.Second)
+	first := -1.0
+	var periods float64
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("period counter stuck at %v (started at %v)", periods, first)
+		}
+		periods = metric(get("/metrics"), "syndog_periods_total")
+		if first < 0 && periods > 0 {
+			first = periods
+		}
+		if first >= 0 && periods > first {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	for periods < 30 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replay did not finish: %v periods", periods)
+		}
+		time.Sleep(20 * time.Millisecond)
+		periods = metric(get("/metrics"), "syndog_periods_total")
+	}
+
+	// /reports must agree with the metrics counter once replay is done.
+	var reports []json.RawMessage
+	if err := json.Unmarshal([]byte(get("/reports")), &reports); err != nil {
+		t.Fatalf("reports not JSON: %v", err)
+	}
+	if len(reports) < 30 {
+		t.Errorf("reports = %d, want >= 30", len(reports))
+	}
+
+	// A 10 SYN/s flood at Auckland is far above the floor: the daemon
+	// must have alarmed by end of replay.
+	if alarmed := metric(get("/metrics"), "syndog_alarmed"); alarmed != 1 {
+		t.Errorf("syndog_alarmed = %v, want 1", alarmed)
+	}
+	if status := get("/status"); !strings.Contains(status, `"alarmed":true`) {
+		t.Errorf("status lacks alarm: %s", status)
 	}
 }

@@ -1,0 +1,117 @@
+package cusum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests of the CUSUM recursion yn = (y(n-1) + Xn - a)+ that
+// the detection experiments lean on. Each uses many seeded random
+// input series rather than hand-picked vectors.
+
+// TestStatisticNeverNegative: the ()+ projection keeps yn >= 0 for any
+// input series, including large negative excursions.
+func TestStatisticNeverNegative(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDefault()
+		for i := 0; i < 2000; i++ {
+			// Heavy-tailed-ish mix: mostly small, occasional big swings
+			// in both directions.
+			x := rng.NormFloat64() * 0.3
+			if rng.Intn(20) == 0 {
+				x += (rng.Float64() - 0.5) * 50
+			}
+			d.Observe(x)
+			if d.Statistic() < 0 {
+				t.Fatalf("seed %d, obs %d: yn = %v < 0", seed, i, d.Statistic())
+			}
+		}
+	}
+}
+
+// TestResetsUnderSubOffsetInput: when every observation stays below
+// the offset a, the statistic drains back to exactly 0 and stays
+// there — the negative-drift regime of normal operation.
+func TestResetsUnderSubOffsetInput(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDefault()
+		// Kick the statistic up first so there is something to drain.
+		d.Observe(DefaultOffset + 0.8)
+		if d.Statistic() <= 0 {
+			t.Fatal("setup: statistic did not rise")
+		}
+		drained := false
+		for i := 0; i < 500; i++ {
+			// Strictly sub-offset input: drift is at most -0.05 per step.
+			x := rng.Float64() * (DefaultOffset - 0.05)
+			d.Observe(x)
+			if d.Statistic() == 0 {
+				drained = true
+			} else if drained {
+				// Once at zero, strictly sub-offset input keeps it there.
+				t.Fatalf("seed %d: statistic regrew to %v on sub-offset input", seed, d.Statistic())
+			}
+		}
+		if !drained {
+			t.Fatalf("seed %d: statistic never drained to 0 under sustained sub-offset input", seed)
+		}
+		if d.Alarmed() {
+			t.Fatalf("seed %d: alarm on sub-offset input", seed)
+		}
+	}
+}
+
+// firstAlarm replays noise+flood through a fresh default detector and
+// returns the first alarm index (-1 if none). The same noise series is
+// used across flood rates so runs are pointwise comparable.
+func firstAlarm(noise []float64, onset int, floodX float64) int {
+	d := NewDefault()
+	for i, x := range noise {
+		if i >= onset {
+			x += floodX
+		}
+		if d.Observe(x) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestAlarmTimeMonotoneInRate: with identical background noise, a
+// stronger flood never alarms later. This is the pointwise
+// monotonicity of the recursion: raising every post-onset input can
+// only raise every subsequent yn.
+func TestAlarmTimeMonotoneInRate(t *testing.T) {
+	const periods, onset = 300, 50
+	rates := []float64{0.4, 0.6, 0.9, 1.5, 3, 8}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		noise := make([]float64, periods)
+		for i := range noise {
+			// Mean well below the offset so the quiet prefix stays quiet.
+			noise[i] = rng.Float64() * 0.3
+		}
+		prev := -1
+		for ri, rate := range rates {
+			at := firstAlarm(noise, onset, rate)
+			if at >= 0 && at < onset {
+				t.Fatalf("seed %d rate %v: alarm at %d before onset %d", seed, rate, at, onset)
+			}
+			if prev >= 0 {
+				if at < 0 {
+					t.Fatalf("seed %d: rate %v detected but higher rate %v did not",
+						seed, rates[ri-1], rate)
+				}
+				if at > prev {
+					t.Fatalf("seed %d: alarm time grew from %d to %d as rate rose %v -> %v",
+						seed, prev, at, rates[ri-1], rate)
+				}
+			}
+			if at >= 0 {
+				prev = at
+			}
+		}
+	}
+}

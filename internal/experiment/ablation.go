@@ -65,6 +65,45 @@ func ablationProfile(opts Options) trace.Profile {
 	return p
 }
 
+// mcOutcome is the reduced result of one Monte-Carlo repetition:
+// everything the ablation tables aggregate. Detected and FalseAlarm
+// are mutually exclusive (Run never reports both).
+type mcOutcome struct {
+	detected   bool
+	periods    float64
+	falseAlarm bool
+}
+
+// outcomeOf reduces a RunResult to its aggregable core.
+func outcomeOf(res RunResult) mcOutcome {
+	return mcOutcome{
+		detected:   res.Detected,
+		periods:    float64(res.DetectionPeriods),
+		falseAlarm: res.FalseAlarm,
+	}
+}
+
+// mcRuns fans opts.Runs repetitions of body out over the worker pool
+// and returns the outcomes in run order.
+func mcRuns(opts Options, body func(run int) (mcOutcome, error)) ([]mcOutcome, error) {
+	return collect(opts.Parallelism, opts.Runs, body)
+}
+
+// mcAggregate folds outcomes into the three table statistics.
+func mcAggregate(outs []mcOutcome) (detected int, totalDelay float64, falseAlarms int) {
+	for _, o := range outs {
+		if o.falseAlarm {
+			falseAlarms++
+			continue
+		}
+		if o.detected {
+			detected++
+			totalDelay += o.periods
+		}
+	}
+	return detected, totalDelay, falseAlarms
+}
+
 // AblationPattern verifies the paper's claim (Section 4.2) that
 // detection depends only on flood volume, not its transient shape:
 // constant, bursty and ramp floods of equal mean rate should be
@@ -87,8 +126,8 @@ func AblationPattern(opts Options) ([]Artifact, error) {
 		Columns: []string{"Pattern", "Detection Prob.", "Mean Detection Time (t0)", "Runs"},
 	}
 	for _, pc := range patterns {
-		detected, totalDelay := 0, 0.0
-		for run := 0; run < opts.Runs; run++ {
+		pc := pc
+		outs, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 			res, err := Run(RunConfig{
 				Profile:       p,
 				Agent:         core.Config{},
@@ -98,13 +137,14 @@ func AblationPattern(opts Options) ([]Artifact, error) {
 				Seed:          opts.Seed + int64(run)*13,
 			})
 			if err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
-			if res.Detected {
-				detected++
-				totalDelay += float64(res.DetectionPeriods)
-			}
+			return outcomeOf(res), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		detected, totalDelay, _ := mcAggregate(outs)
 		mean := "-"
 		if detected > 0 {
 			mean = fmt.Sprintf("%.2f", totalDelay/float64(detected))
@@ -132,8 +172,8 @@ func AblationT0(opts Options) ([]Artifact, error) {
 		Columns: []string{"t0", "Detection Prob.", "Mean delay (periods)", "Mean delay (wall)", "False alarms"},
 	}
 	for _, t0 := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 40 * time.Second} {
-		detected, totalDelay, falseAlarms := 0, 0.0, 0
-		for run := 0; run < opts.Runs; run++ {
+		t0 := t0
+		outs, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 			res, err := Run(RunConfig{
 				Profile:       p,
 				Agent:         core.Config{T0: t0},
@@ -143,17 +183,14 @@ func AblationT0(opts Options) ([]Artifact, error) {
 				Seed:          opts.Seed + int64(run)*17,
 			})
 			if err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
-			if res.FalseAlarm {
-				falseAlarms++
-				continue
-			}
-			if res.Detected {
-				detected++
-				totalDelay += float64(res.DetectionPeriods)
-			}
+			return outcomeOf(res), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		detected, totalDelay, falseAlarms := mcAggregate(outs)
 		prob := float64(detected) / float64(opts.Runs)
 		meanPeriods, meanWall := "-", "-"
 		if detected > 0 {
@@ -185,8 +222,8 @@ func AblationAlpha(opts Options) ([]Artifact, error) {
 		Columns: []string{"alpha", "Detection Prob.", "Mean Detection Time (t0)", "False alarms"},
 	}
 	for _, alpha := range []float64{0.5, 0.7, 0.9, 0.98} {
-		detected, totalDelay, falseAlarms := 0, 0.0, 0
-		for run := 0; run < opts.Runs; run++ {
+		alpha := alpha
+		outs, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 			res, err := Run(RunConfig{
 				Profile:       p,
 				Agent:         core.Config{Alpha: alpha},
@@ -196,17 +233,14 @@ func AblationAlpha(opts Options) ([]Artifact, error) {
 				Seed:          opts.Seed + int64(run)*19,
 			})
 			if err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
-			if res.FalseAlarm {
-				falseAlarms++
-				continue
-			}
-			if res.Detected {
-				detected++
-				totalDelay += float64(res.DetectionPeriods)
-			}
+			return outcomeOf(res), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		detected, totalDelay, falseAlarms := mcAggregate(outs)
 		mean := "-"
 		if detected > 0 {
 			mean = fmt.Sprintf("%.2f", totalDelay/float64(detected))
@@ -233,35 +267,41 @@ func AblationH2A(opts Options) ([]Artifact, error) {
 		Title:   "Threshold scaling around the h=2a rule (a=0.35), 5 SYN/s flood",
 		Columns: []string{"N", "designed delay (t0)", "Detection Prob.", "Mean Detection Time (t0)", "False alarms", "max benign yn"},
 	}
+	bgCache := trace.NewCache()
 	for _, scale := range []float64{0.5, 1, 2, 4} {
 		n := 1.05 * scale
-		detected, totalDelay, falseAlarms := 0, 0.0, 0
-		maxBenign := 0.0
-		for run := 0; run < opts.Runs; run++ {
+		type h2aOutcome struct {
+			detected   bool
+			periods    float64
+			quietAlarm bool
+			maxBenign  float64
+		}
+		outs, err := collect(opts.Parallelism, opts.Runs, func(run int) (h2aOutcome, error) {
 			seed := opts.Seed + int64(run)*23
 
-			// Flood-free pass for the false-alarm margin.
-			bg, err := trace.Generate(p, seed)
+			// Flood-free pass for the false-alarm margin. The cache
+			// shares one generated background per seed across both
+			// passes and all four threshold scales.
+			bg, err := bgCache.Generate(p, seed)
 			if err != nil {
-				return nil, err
+				return h2aOutcome{}, err
 			}
 			quiet, err := core.NewAgent(core.Config{Threshold: n})
 			if err != nil {
-				return nil, err
+				return h2aOutcome{}, err
 			}
 			if _, err := quiet.ProcessTrace(bg); err != nil {
-				return nil, err
+				return h2aOutcome{}, err
 			}
-			if quiet.Alarmed() {
-				falseAlarms++
-			}
+			o := h2aOutcome{quietAlarm: quiet.Alarmed()}
 			for _, y := range quiet.Statistics() {
-				maxBenign = math.Max(maxBenign, y)
+				o.maxBenign = math.Max(o.maxBenign, y)
 			}
 
-			// Flooded pass.
+			// Flooded pass over the same background.
 			res, err := Run(RunConfig{
 				Profile:       p,
+				Background:    bg,
 				Agent:         core.Config{Threshold: n},
 				Rate:          5,
 				Onset:         15 * time.Minute,
@@ -269,11 +309,25 @@ func AblationH2A(opts Options) ([]Artifact, error) {
 				Seed:          seed,
 			})
 			if err != nil {
-				return nil, err
+				return h2aOutcome{}, err
 			}
-			if res.Detected && !res.FalseAlarm {
+			o.detected = res.Detected && !res.FalseAlarm
+			o.periods = float64(res.DetectionPeriods)
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		detected, totalDelay, falseAlarms := 0, 0.0, 0
+		maxBenign := 0.0
+		for _, o := range outs {
+			if o.quietAlarm {
+				falseAlarms++
+			}
+			maxBenign = math.Max(maxBenign, o.maxBenign)
+			if o.detected {
 				detected++
-				totalDelay += float64(res.DetectionPeriods)
+				totalDelay += o.periods
 			}
 		}
 		mean := "-"
@@ -320,12 +374,9 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		return []detect.Detector{cus, static, ratio, ada}, nil
 	}
 
-	// Build per-period observation series: flood-free and flooded.
-	series := func(seed int64, rate float64) ([]detect.Observation, int, error) {
-		bg, err := trace.Generate(p, seed)
-		if err != nil {
-			return nil, 0, err
-		}
+	// Build per-period observation series from one background: the
+	// flood-free pass reuses the flooded pass's generated trace.
+	series := func(bg *trace.Trace, seed int64, rate float64) ([]detect.Observation, int, error) {
 		mixed := bg
 		onset := 15 * time.Minute
 		if rate > 0 {
@@ -356,20 +407,23 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		Title:   "Decision rules on identical observations (stealthy 3 SYN/s flood; Auckland-like site)",
 		Columns: []string{"Detector", "Detection Prob.", "Mean delay (t0)", "False alarms (flood-free)"},
 	}
-	type agg struct {
-		detected, falseAlarms int
-		delay                 float64
+	type detOutcome struct {
+		name       string
+		detected   bool
+		delay      float64
+		falseAlarm bool
 	}
-	results := map[string]*agg{}
-	order := []string{}
-
-	for run := 0; run < opts.Runs; run++ {
+	perRun, err := collect(opts.Parallelism, opts.Runs, func(run int) ([]detOutcome, error) {
 		seed := opts.Seed + int64(run)*29
-		flooded, onsetPeriod, err := series(seed, 3)
+		bg, err := trace.Generate(p, seed)
 		if err != nil {
 			return nil, err
 		}
-		quiet, _, err := series(seed, 0)
+		flooded, onsetPeriod, err := series(bg, seed, 3)
+		if err != nil {
+			return nil, err
+		}
+		quiet, _, err := series(bg, seed, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -377,28 +431,50 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, d := range dets {
-			name := d.Name()
-			r, ok := results[name]
-			if !ok {
-				r = &agg{}
-				results[name] = r
-				order = append(order, name)
-			}
+		outs := make([]detOutcome, len(dets))
+		for i, d := range dets {
+			o := detOutcome{name: d.Name()}
 			res := detect.Run(d, flooded)
 			if res.FirstAlarm >= onsetPeriod {
-				r.detected++
-				r.delay += float64(res.FirstAlarm - onsetPeriod)
+				o.detected = true
+				o.delay = float64(res.FirstAlarm - onsetPeriod)
 			}
+			outs[i] = o
 		}
 		// Fresh detectors for the flood-free pass.
 		dets, err = mkDetectors(100)
 		if err != nil {
 			return nil, err
 		}
-		for _, d := range dets {
-			if detect.Run(d, quiet).FirstAlarm >= 0 {
-				results[d.Name()].falseAlarms++
+		for i, d := range dets {
+			outs[i].falseAlarm = detect.Run(d, quiet).FirstAlarm >= 0
+		}
+		return outs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type agg struct {
+		detected, falseAlarms int
+		delay                 float64
+	}
+	results := map[string]*agg{}
+	order := []string{}
+	for _, outs := range perRun {
+		for _, o := range outs {
+			r, ok := results[o.name]
+			if !ok {
+				r = &agg{}
+				results[o.name] = r
+				order = append(order, o.name)
+			}
+			if o.detected {
+				r.detected++
+				r.delay += o.delay
+			}
+			if o.falseAlarm {
+				r.falseAlarms++
 			}
 		}
 	}
@@ -433,7 +509,9 @@ func AblationState(opts Options) ([]Artifact, error) {
 	// — a handful of machine words regardless of load.
 	const syndogWords = 8
 	t.Columns = append(t.Columns, "SYN-proxy peak entries (measured)")
-	for _, rate := range []float64{100, 1000, 14000} {
+	rates := []float64{100, 1000, 14000}
+	rows, err := collect(opts.Parallelism, len(rates), func(i int) ([]string, error) {
+		rate := rates[i]
 		// A stateful monitor must track each half-open connection for
 		// its 75 s lifetime: steady state = rate * 75 entries.
 		entries := int(rate * 75)
@@ -448,14 +526,18 @@ func AblationState(opts Options) ([]Artifact, error) {
 			}
 			measured = fmt.Sprintf("%d", peak)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			trimFloat(rate),
 			fmt.Sprintf("%d", syndogWords),
 			fmt.Sprintf("%d", entries),
 			fmt.Sprintf("%.0fx", float64(entries)/syndogWords),
 			measured,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []Artifact{t}, nil
 }
 
@@ -504,7 +586,6 @@ func proxyPeakState(rate float64) (int, error) {
 func AblationTraceback(opts Options) ([]Artifact, error) {
 	opts.applyDefaults()
 	const markProb = 1.0 / 25
-	rng := rand.New(rand.NewSource(opts.Seed))
 	t := &Table{
 		ID:    "ablation-traceback",
 		Title: "Packets a victim needs to locate the source: PPM / iTrace traceback vs SYN-dog",
@@ -518,22 +599,36 @@ func AblationTraceback(opts Options) ([]Artifact, error) {
 		},
 	}
 	for _, hops := range []int{5, 10, 15, 20, 25} {
+		hops := hops
 		path, err := iptrace.LinearPath(hops)
 		if err != nil {
 			return nil, err
 		}
-		total, ok := 0, true
-		for run := 0; run < opts.Runs; run++ {
+		type tbOutcome struct {
+			n  int
+			ok bool
+		}
+		// Each campaign draws from its own (hops, run)-derived stream,
+		// so the measured column is schedule-independent.
+		outs, err := collect(opts.Parallelism, opts.Runs, func(run int) (tbOutcome, error) {
+			rng := rand.New(rand.NewSource(seedFor(opts.Seed, "traceback", uint64(hops), uint64(run))))
 			campaign, err := iptrace.NewCampaign(path, markProb, rng)
 			if err != nil {
-				return nil, err
+				return tbOutcome{}, err
 			}
 			n, succeeded := campaign.PacketsToReconstruct(2_000_000)
-			if !succeeded {
+			return tbOutcome{n: n, ok: succeeded}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		total, ok := 0, true
+		for _, o := range outs {
+			if !o.ok {
 				ok = false
 				break
 			}
-			total += n
+			total += o.n
 		}
 		measured := "-"
 		if ok {
@@ -582,8 +677,7 @@ func AblationLastMile(opts Options) ([]Artifact, error) {
 		fi := totalRate / float64(stubs)
 
 		// First mile: standard Run at rate fi.
-		fmDetected, fmDelay := 0, 0.0
-		for run := 0; run < opts.Runs; run++ {
+		fmOuts, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 			res, err := Run(RunConfig{
 				Profile:       stubProfile,
 				Agent:         core.Config{},
@@ -593,37 +687,43 @@ func AblationLastMile(opts Options) ([]Artifact, error) {
 				Seed:          opts.Seed + int64(run)*31,
 			})
 			if err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
-			if res.Detected {
-				fmDetected++
-				fmDelay += float64(res.DetectionPeriods)
-			}
+			return outcomeOf(res), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		fmDetected, fmDelay, _ := mcAggregate(fmOuts)
 
 		// Last mile: victim-side agent sees the aggregate V regardless
 		// of A. Build the victim view: benign open/close pairs plus
 		// the flipped aggregate flood.
-		lmDetected, lmDelay := 0, 0.0
-		for run := 0; run < opts.Runs; run++ {
+		lmOuts, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 			seed := opts.Seed + int64(run)*37
 			onset := 15 * time.Minute
 			victimTrace, onsetPeriod, err := victimView(stubProfile, totalRate, onset, seed)
 			if err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
 			agent, err := core.NewLastMileAgent(core.Config{WarmupPeriods: 10})
 			if err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
 			if _, err := agent.ProcessTrace(victimTrace); err != nil {
-				return nil, err
+				return mcOutcome{}, err
 			}
+			var o mcOutcome
 			if al := agent.FirstAlarm(); al != nil && al.Period >= onsetPeriod {
-				lmDetected++
-				lmDelay += float64(al.Period - onsetPeriod)
+				o.detected = true
+				o.periods = float64(al.Period - onsetPeriod)
 			}
+			return o, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		lmDetected, lmDelay, _ := mcAggregate(lmOuts)
 
 		fmt1 := func(detected int, delay float64) (string, string) {
 			prob := fmt.Sprintf("%.2f", float64(detected)/float64(opts.Runs))
@@ -687,8 +787,7 @@ func AblationDeployment(opts Options) ([]Artifact, error) {
 	const perStubRate = 8.0 // comfortably above the Auckland floor
 
 	// Measure the per-stub detection probability once.
-	detected := 0
-	for run := 0; run < opts.Runs; run++ {
+	outs, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 		res, err := Run(RunConfig{
 			Profile:       p,
 			Agent:         core.Config{},
@@ -698,12 +797,14 @@ func AblationDeployment(opts Options) ([]Artifact, error) {
 			Seed:          opts.Seed + int64(run)*41,
 		})
 		if err != nil {
-			return nil, err
+			return mcOutcome{}, err
 		}
-		if res.Detected {
-			detected++
-		}
+		return outcomeOf(res), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	detected, _, _ := mcAggregate(outs)
 	perStub := float64(detected) / float64(opts.Runs)
 
 	t := &Table{
@@ -747,7 +848,7 @@ func AblationPosterior(opts Options) ([]Artifact, error) {
 			"Posterior answers after",
 		},
 	}
-	for run := 0; run < opts.Runs; run++ {
+	rows, err := collect(opts.Parallelism, opts.Runs, func(run int) ([]string, error) {
 		res, err := Run(RunConfig{
 			Profile:       p,
 			Agent:         core.Config{},
@@ -790,7 +891,7 @@ func AblationPosterior(opts Options) ([]Artifact, error) {
 		if res.AlarmPeriod >= 0 {
 			alarmPeriod = fmt.Sprintf("%d", res.AlarmPeriod)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", run),
 			fmt.Sprintf("%d", res.OnsetPeriod),
 			alarmPeriod,
@@ -798,7 +899,11 @@ func AblationPosterior(opts Options) ([]Artifact, error) {
 			postIdx,
 			postErr,
 			fmt.Sprintf("%d periods (full capture)", len(xs)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return []Artifact{t}, nil
 }

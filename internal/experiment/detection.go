@@ -3,6 +3,7 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 	"time"
@@ -21,6 +22,12 @@ var victimAddr = netip.MustParseAddr("11.99.99.1")
 type RunConfig struct {
 	// Profile generates the background traffic.
 	Profile trace.Profile
+	// Background, when non-nil, is replayed as the background traffic
+	// instead of generating one from Profile+Seed. Sweeps use it to
+	// generate the per-site trace once and replay it across every
+	// Monte-Carlo repetition. The trace is treated as read-only, so one
+	// instance may back many concurrent runs.
+	Background *trace.Trace
 	// Agent configures the SYN-dog under test.
 	Agent core.Config
 	// Rate is fi, the flood rate seen by this stub's outbound sniffer,
@@ -67,9 +74,13 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.FloodDuration <= 0 {
 		return RunResult{}, errors.New("experiment: flood duration must be positive")
 	}
-	bg, err := trace.Generate(cfg.Profile, cfg.Seed)
-	if err != nil {
-		return RunResult{}, fmt.Errorf("experiment: background: %w", err)
+	bg := cfg.Background
+	if bg == nil {
+		var err error
+		bg, err = trace.Generate(cfg.Profile, cfg.Seed)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("experiment: background: %w", err)
+		}
 	}
 	pattern := cfg.Pattern
 	if pattern == nil {
@@ -163,6 +174,11 @@ type SweepConfig struct {
 	FloodDuration time.Duration
 	// Seed drives run randomization.
 	Seed int64
+	// Parallelism bounds the worker count fanning the (rate, run)
+	// cells out; 0 means one worker per CPU. Any value produces
+	// bit-identical results: every cell derives its own RNG from
+	// (Seed, site, rate, run).
+	Parallelism int
 }
 
 func (c *SweepConfig) validate() error {
@@ -179,33 +195,55 @@ func (c *SweepConfig) validate() error {
 }
 
 // Sweep measures detection probability and mean detection time per
-// rate, reproducing the methodology behind Tables 2 and 3.
+// rate, reproducing the methodology behind Tables 2 and 3. The
+// background trace is generated once and replayed across every cell;
+// the (rate, run) cells fan out over cfg.Parallelism workers, each
+// deriving its own RNG so the result is independent of scheduling.
 func Sweep(cfg SweepConfig) ([]Performance, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	bg, err := trace.Generate(cfg.Profile, seedFor(cfg.Seed, "sweep-background:"+cfg.Profile.Name))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: sweep background: %w", err)
+	}
+	cells := len(cfg.Rates) * cfg.Runs
+	results := make([]RunResult, cells)
+	err = ForEach(cfg.Parallelism, cells, func(i int) error {
+		rate := cfg.Rates[i/cfg.Runs]
+		run := i % cfg.Runs
+		rng := rand.New(rand.NewSource(seedFor(cfg.Seed, "sweep-cell:"+cfg.Profile.Name,
+			math.Float64bits(rate), uint64(run))))
+		onset := cfg.OnsetMin
+		if cfg.OnsetMax > cfg.OnsetMin {
+			onset += time.Duration(rng.Int63n(int64(cfg.OnsetMax - cfg.OnsetMin)))
+		}
+		res, err := Run(RunConfig{
+			Profile:       cfg.Profile,
+			Background:    bg,
+			Agent:         cfg.Agent,
+			Rate:          rate,
+			Onset:         onset,
+			FloodDuration: cfg.FloodDuration,
+			Seed:          rng.Int63(),
+		})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	out := make([]Performance, 0, len(cfg.Rates))
-	for _, rate := range cfg.Rates {
+	for ri, rate := range cfg.Rates {
 		perf := Performance{Rate: rate, Runs: cfg.Runs}
 		detected := 0
 		totalDelay := 0.0
 		for run := 0; run < cfg.Runs; run++ {
-			onset := cfg.OnsetMin
-			if cfg.OnsetMax > cfg.OnsetMin {
-				onset += time.Duration(rng.Int63n(int64(cfg.OnsetMax - cfg.OnsetMin)))
-			}
-			res, err := Run(RunConfig{
-				Profile:       cfg.Profile,
-				Agent:         cfg.Agent,
-				Rate:          rate,
-				Onset:         onset,
-				FloodDuration: cfg.FloodDuration,
-				Seed:          rng.Int63(),
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[ri*cfg.Runs+run]
 			if res.FalseAlarm {
 				perf.FalseAlarms++
 				continue

@@ -328,7 +328,7 @@ func TestFig9TunedDetectsDefaultDoesNot(t *testing.T) {
 func TestFalseAlarmSummary(t *testing.T) {
 	p := trace.Auckland()
 	p.Span = 10 * time.Minute
-	tbl, err := FalseAlarmSummary(core.Config{}, []int64{1, 2}, []trace.Profile{p})
+	tbl, err := FalseAlarmSummary(core.Config{}, []int64{1, 2}, []trace.Profile{p}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

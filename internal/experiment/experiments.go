@@ -35,6 +35,13 @@ type Options struct {
 	// Fast shrinks spans and run counts for smoke tests and CI; the
 	// shapes survive, the statistics get noisier.
 	Fast bool
+	// Parallelism bounds how many workers fan out Monte-Carlo
+	// repetitions and sweep cells; 0 means one worker per CPU
+	// (runtime.GOMAXPROCS). Artifacts are bit-identical across all
+	// Parallelism values for the same Seed: each work item derives its
+	// own RNG from a stable hash of its identity, never a shared
+	// stream.
+	Parallelism int
 }
 
 func (o *Options) applyDefaults() {
@@ -106,31 +113,39 @@ func Table1(opts Options) ([]Artifact, error) {
 		Title:   "A summary of the trace features",
 		Columns: []string{"Trace", "Duration", "Traffic type", "Records", "SYN", "SYN/ACK"},
 	}
-	addRow := func(tr *trace.Trace, traffic string, syn, synack int) {
-		t.Rows = append(t.Rows, []string{
+	row := func(tr *trace.Trace, traffic string, syn, synack int) []string {
+		return []string{
 			tr.Name,
 			tr.Span.String(),
 			traffic,
 			fmt.Sprintf("%d", len(tr.Records)),
 			fmt.Sprintf("%d", syn),
 			fmt.Sprintf("%d", synack),
-		})
+		}
 	}
-	for i, p := range trace.Profiles() {
-		p = shrinkSpan(p, opts.Fast, 5*time.Minute)
+	profiles := trace.Profiles()
+	groups, err := collect(opts.Parallelism, len(profiles), func(i int) ([][]string, error) {
+		p := shrinkSpan(profiles[i], opts.Fast, 5*time.Minute)
 		tr, err := trace.Generate(p, opts.Seed+int64(i))
 		if err != nil {
 			return nil, err
 		}
 		s := tr.Summarize()
 		if p.Bidirectional {
-			addRow(tr, "Bi-directional", s.OutSYN+s.InSYN, s.InSYNACK+s.OutSYNACK)
-			continue
+			return [][]string{row(tr, "Bi-directional", s.OutSYN+s.InSYN, s.InSYNACK+s.OutSYNACK)}, nil
 		}
 		in, out := tr.Split()
 		inS, outS := in.Summarize(), out.Summarize()
-		addRow(in, "Uni-directional", inS.InSYN, inS.InSYNACK)
-		addRow(out, "Uni-directional", outS.OutSYN, outS.OutSYNACK)
+		return [][]string{
+			row(in, "Uni-directional", inS.InSYN, inS.InSYNACK),
+			row(out, "Uni-directional", outS.OutSYN, outS.OutSYNACK),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		t.Rows = append(t.Rows, g...)
 	}
 	return []Artifact{t}, nil
 }
@@ -181,32 +196,34 @@ func dynamicsFigure(id string, p trace.Profile, seed int64) (*Figure, error) {
 	}, nil
 }
 
+// dynamicsPanels renders the two dynamics panels of Figure 3 or 4,
+// one worker per site.
+func dynamicsPanels(opts Options, ids [2]string, profiles [2]trace.Profile, seeds [2]int64) ([]Artifact, error) {
+	figs, err := collect(opts.Parallelism, len(ids), func(i int) (*Figure, error) {
+		return dynamicsFigure(ids[i], shrinkSpan(profiles[i], opts.Fast, 5*time.Minute), seeds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{figs[0], figs[1]}, nil
+}
+
 // Fig3 regenerates the LBL and Harvard dynamics.
 func Fig3(opts Options) ([]Artifact, error) {
 	opts.applyDefaults()
-	lbl, err := dynamicsFigure("fig3a", shrinkSpan(trace.LBL(), opts.Fast, 5*time.Minute), opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	harvard, err := dynamicsFigure("fig3b", shrinkSpan(trace.Harvard(), opts.Fast, 5*time.Minute), opts.Seed+1)
-	if err != nil {
-		return nil, err
-	}
-	return []Artifact{lbl, harvard}, nil
+	return dynamicsPanels(opts,
+		[2]string{"fig3a", "fig3b"},
+		[2]trace.Profile{trace.LBL(), trace.Harvard()},
+		[2]int64{opts.Seed, opts.Seed + 1})
 }
 
 // Fig4 regenerates the UNC and Auckland dynamics.
 func Fig4(opts Options) ([]Artifact, error) {
 	opts.applyDefaults()
-	unc, err := dynamicsFigure("fig4a", shrinkSpan(trace.UNC(), opts.Fast, 5*time.Minute), opts.Seed+2)
-	if err != nil {
-		return nil, err
-	}
-	auckland, err := dynamicsFigure("fig4b", shrinkSpan(trace.Auckland(), opts.Fast, 5*time.Minute), opts.Seed+3)
-	if err != nil {
-		return nil, err
-	}
-	return []Artifact{unc, auckland}, nil
+	return dynamicsPanels(opts,
+		[2]string{"fig4a", "fig4b"},
+		[2]trace.Profile{trace.UNC(), trace.Auckland()},
+		[2]int64{opts.Seed + 2, opts.Seed + 3})
 }
 
 // normalOperationFigure runs the detector over flood-free background
@@ -248,13 +265,17 @@ func Fig5(opts Options) ([]Artifact, error) {
 	opts.applyDefaults()
 	sites := []trace.Profile{trace.Harvard(), trace.UNC(), trace.Auckland()}
 	ids := []string{"fig5a", "fig5b", "fig5c"}
-	out := make([]Artifact, 0, len(sites))
-	for i, p := range sites {
-		fig, err := normalOperationFigure(ids[i], shrinkSpan(p, opts.Fast, 5*time.Minute), opts.Seed+int64(i)*11)
+	out := make([]Artifact, len(sites))
+	err := ForEach(opts.Parallelism, len(sites), func(i int) error {
+		fig, err := normalOperationFigure(ids[i], shrinkSpan(sites[i], opts.Fast, 5*time.Minute), opts.Seed+int64(i)*11)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, fig)
+		out[i] = fig
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -271,6 +292,7 @@ func uncSweepConfig(opts Options) SweepConfig {
 		OnsetMax:      9 * time.Minute,
 		FloodDuration: 10 * time.Minute,
 		Seed:          opts.Seed,
+		Parallelism:   opts.Parallelism,
 	}
 }
 
@@ -291,25 +313,20 @@ func Table2(opts Options) ([]Artifact, error) {
 		"Detection performance of the SYN-dog at UNC", perfs)}, nil
 }
 
-// sensitivityFigure plots yn for one run per rate (Figures 7 and 8).
-func sensitivityFigure(id, site string, p trace.Profile, agentCfg core.Config, rates []float64, onset time.Duration, seed int64) (*Figure, error) {
-	fig := &Figure{
-		ID:     id,
-		Title:  fmt.Sprintf("SYN flooding detection sensitivity at the SYN-dog of %s", site),
-		XLabel: "Time (minutes)",
-		YLabel: "yn",
-	}
-	for i, rate := range rates {
+// sensitivityFigure plots yn for one run per rate (Figures 7 and 8),
+// one worker per rate.
+func sensitivityFigure(id, site string, p trace.Profile, agentCfg core.Config, rates []float64, onset time.Duration, seed int64, parallelism int) (*Figure, error) {
+	series, err := collect(parallelism, len(rates), func(i int) (Series, error) {
 		res, err := Run(RunConfig{
 			Profile:       p,
 			Agent:         agentCfg,
-			Rate:          rate,
+			Rate:          rates[i],
 			Onset:         onset,
 			FloodDuration: 10 * time.Minute,
 			Seed:          seed + int64(i)*101,
 		})
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		t0 := agentCfg.T0
 		if t0 == 0 {
@@ -319,13 +336,22 @@ func sensitivityFigure(id, site string, p trace.Profile, agentCfg core.Config, r
 		for j := range x {
 			x[j] = float64(j+1) * t0.Minutes()
 		}
-		fig.Series = append(fig.Series, Series{
-			Label: fmt.Sprintf("fi=%s SYN/s", trimFloat(rate)),
+		return Series{
+			Label: fmt.Sprintf("fi=%s SYN/s", trimFloat(rates[i])),
 			X:     x,
 			Y:     res.Statistic,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return fig, nil
+	return &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("SYN flooding detection sensitivity at the SYN-dog of %s", site),
+		XLabel: "Time (minutes)",
+		YLabel: "yn",
+		Series: series,
+	}, nil
 }
 
 // Fig7 regenerates the UNC sensitivity curves at fi = 45, 60, 80.
@@ -336,7 +362,7 @@ func Fig7(opts Options) ([]Artifact, error) {
 		p.Span = 15 * time.Minute
 	}
 	fig, err := sensitivityFigure("fig7", "UNC",
-		p, core.Config{}, []float64{45, 60, 80}, 5*time.Minute, opts.Seed)
+		p, core.Config{}, []float64{45, 60, 80}, 5*time.Minute, opts.Seed, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -355,6 +381,7 @@ func aucklandSweepConfig(opts Options) SweepConfig {
 		OnsetMax:      136 * time.Minute,
 		FloodDuration: 10 * time.Minute,
 		Seed:          opts.Seed,
+		Parallelism:   opts.Parallelism,
 	}
 }
 
@@ -382,7 +409,7 @@ func Fig8(opts Options) ([]Artifact, error) {
 		p.Span = 40 * time.Minute
 	}
 	fig, err := sensitivityFigure("fig8", "Auckland",
-		p, core.Config{}, []float64{2, 5, 10}, 20*time.Minute, opts.Seed)
+		p, core.Config{}, []float64{2, 5, 10}, 20*time.Minute, opts.Seed, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -400,7 +427,7 @@ func Fig9(opts Options) ([]Artifact, error) {
 	}
 	tuned := core.Config{Offset: 0.2, Threshold: 0.6}
 	fig, err := sensitivityFigure("fig9", "UNC (tuned: a=0.2, N=0.6)",
-		p, tuned, []float64{15}, 5*time.Minute, opts.Seed)
+		p, tuned, []float64{15}, 5*time.Minute, opts.Seed, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -432,33 +459,53 @@ func Fig9(opts Options) ([]Artifact, error) {
 
 // FalseAlarmSummary counts false alarms over the flood-free site
 // traces with given parameters; it backs the Fig 9 claim "without
-// incurring additional false alarms" and the fig5 numbers.
-func FalseAlarmSummary(agentCfg core.Config, seeds []int64, profiles []trace.Profile) (*Table, error) {
+// incurring additional false alarms" and the fig5 numbers. Every
+// (profile, seed) pair is an independent work item fanned out over
+// parallelism workers (0 = one per CPU).
+func FalseAlarmSummary(agentCfg core.Config, seeds []int64, profiles []trace.Profile, parallelism int) (*Table, error) {
 	t := &Table{
 		ID:      "false-alarms",
 		Title:   "False alarms and peak yn on flood-free traces",
 		Columns: []string{"Trace", "Seeds", "False alarms", "max yn"},
 	}
-	for _, p := range profiles {
+	type cell struct {
+		alarmed bool
+		peak    float64
+	}
+	cellsCount := len(profiles) * len(seeds)
+	cells, err := collect(parallelism, cellsCount, func(i int) (cell, error) {
+		p := profiles[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		tr, err := trace.Generate(p, seed)
+		if err != nil {
+			return cell{}, err
+		}
+		agent, err := core.NewAgent(agentCfg)
+		if err != nil {
+			return cell{}, err
+		}
+		if _, err := agent.ProcessTrace(tr); err != nil {
+			return cell{}, err
+		}
+		c := cell{alarmed: agent.Alarmed()}
+		if m, err := stats.Max(agent.Statistics()); err == nil {
+			c.peak = m
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range profiles {
 		alarms := 0
 		peak := 0.0
-		for _, seed := range seeds {
-			tr, err := trace.Generate(p, seed)
-			if err != nil {
-				return nil, err
-			}
-			agent, err := core.NewAgent(agentCfg)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := agent.ProcessTrace(tr); err != nil {
-				return nil, err
-			}
-			if agent.Alarmed() {
+		for si := range seeds {
+			c := cells[pi*len(seeds)+si]
+			if c.alarmed {
 				alarms++
 			}
-			if m, err := stats.Max(agent.Statistics()); err == nil && m > peak {
-				peak = m
+			if c.peak > peak {
+				peak = c.peak
 			}
 		}
 		t.Rows = append(t.Rows, []string{

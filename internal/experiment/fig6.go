@@ -89,23 +89,30 @@ func Fig6(opts Options) ([]Artifact, error) {
 	}
 
 	// Smoke-run every box: background trace, flood trace, merge, agent.
+	// The two source boxes of the figure are independent generators, so
+	// they run as two pool work items; the checks are appended in
+	// figure order afterwards, keeping the artifact deterministic.
 	p := trace.Auckland()
 	p.Span = 20 * time.Minute
-	bg, err := trace.Generate(p, opts.Seed)
+	var bg, fl *trace.Trace
+	err := ForEach(opts.Parallelism, 2, func(i int) error {
+		var err error
+		if i == 0 {
+			bg, err = trace.Generate(p, opts.Seed)
+			return err
+		}
+		fl, err = flood.GenerateTrace(flood.Config{
+			Start: 8 * time.Minute, Duration: 10 * time.Minute,
+			Pattern: flood.Constant{PerSecond: 10},
+			Victim:  victimAddr, VictimPort: 80, Seed: opts.Seed,
+		})
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	d.Checks = append(d.Checks,
 		fmt.Sprintf("background site trace generated (%d records over %v)", len(bg.Records), bg.Span))
-
-	fl, err := flood.GenerateTrace(flood.Config{
-		Start: 8 * time.Minute, Duration: 10 * time.Minute,
-		Pattern: flood.Constant{PerSecond: 10},
-		Victim:  victimAddr, VictimPort: 80, Seed: opts.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
 	d.Checks = append(d.Checks,
 		fmt.Sprintf("flooding trace generated (%d spoofed SYNs)", len(fl.Records)))
 

@@ -1,0 +1,62 @@
+package trace
+
+import "sync"
+
+// Cache memoizes Generate results keyed by (profile, seed), so a
+// caller that replays the same background many times — a Monte-Carlo
+// sweep, an ablation running a flood-free and a flooded pass over one
+// trace — generates it once. It is safe for concurrent use.
+//
+// Cached traces are shared: callers must treat them as read-only.
+// Every trace operation that "modifies" (Filter, Flip, Merge, Sort on
+// a copy) already allocates a new record slice, so the usual pipeline
+// honors this for free.
+type Cache struct {
+	mu sync.Mutex
+	m  map[cacheKey]*Trace
+}
+
+// cacheKey identifies one generated trace. Profile contains only
+// comparable fields, so the struct itself can key the map.
+type cacheKey struct {
+	profile Profile
+	seed    int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[cacheKey]*Trace)}
+}
+
+// Generate returns the memoized trace for (p, seed), generating and
+// storing it on first use. Generation happens outside the lock so a
+// slow profile does not serialize unrelated lookups; if two goroutines
+// race on the same key, the first stored result wins and both get it.
+func (c *Cache) Generate(p Profile, seed int64) (*Trace, error) {
+	key := cacheKey{profile: p, seed: seed}
+	c.mu.Lock()
+	if tr, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return tr, nil
+	}
+	c.mu.Unlock()
+
+	tr, err := Generate(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.m[key]; ok {
+		return prior, nil
+	}
+	c.m[key] = tr
+	return tr, nil
+}
+
+// Len reports how many distinct traces are cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

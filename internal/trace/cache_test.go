@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func cacheProfile() Profile {
+	p := Auckland()
+	p.Span = 2 * time.Minute
+	return p
+}
+
+func TestCacheReturnsSameTrace(t *testing.T) {
+	c := NewCache()
+	p := cacheProfile()
+	a, err := c.Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (profile, seed) generated twice")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDistinguishesSeedAndProfile(t *testing.T) {
+	c := NewCache()
+	p := cacheProfile()
+	if _, err := c.Generate(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Generate(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	q := p
+	q.Span = 3 * time.Minute
+	if _, err := c.Generate(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Errorf("cache len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheMatchesDirectGenerate(t *testing.T) {
+	c := NewCache()
+	p := cacheProfile()
+	cached, err := c.Generate(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Generate(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Records) != len(direct.Records) {
+		t.Fatalf("cached %d records, direct %d", len(cached.Records), len(direct.Records))
+	}
+	for i := range cached.Records {
+		if cached.Records[i] != direct.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, cached.Records[i], direct.Records[i])
+		}
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	p := cacheProfile()
+	var wg sync.WaitGroup
+	traces := make([]*Trace, 8)
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.Generate(p, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(traces); i++ {
+		if traces[i] != traces[0] {
+			t.Fatal("concurrent callers got different trace instances")
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+}
