@@ -1,9 +1,13 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test race bench examples experiments fast-experiments fuzz clean
+.PHONY: all build vet test race check bench examples experiments fast-experiments fuzz clean
 
 all: build vet test
+
+# The full pre-merge gate: static checks, the test suite, and the
+# race detector in one target.
+check: vet test race
 
 build:
 	$(GO) build ./...

@@ -1,40 +1,47 @@
 // Command syndogd runs a SYN-dog agent as a long-lived daemon: it
 // replays a trace in (optionally accelerated) real time through the
 // agent and serves the agent's live state over HTTP — the operational
-// wrapper a network operator would deploy next to a leaf router.
+// wrapper a network operator would deploy next to a leaf router. The
+// replay/serve/snapshot machinery lives in internal/daemon; this
+// command only parses flags and wires the pieces.
 //
 // Endpoints:
 //
-//	GET /healthz  -> 200 "ok"
-//	GET /status   -> JSON snapshot (periods, K-bar, yn, alarm)
+//	GET /healthz  -> 200 "ok" (503 once the replay has failed)
+//	GET /status   -> JSON snapshot (periods, K-bar, yn, alarm, replay + checkpoint state)
 //	GET /reports  -> JSON array of per-period reports
 //	GET /metrics  -> Prometheus-style text exposition
 //
 // Usage:
 //
 //	syndogd -in mixed.trace -listen :8080 -speed 60
+//	syndogd -in mixed.trace -state agent.json -checkpoint 30s
 //
 // -speed 60 replays one minute of trace time per wall second; -speed 0
 // processes the whole trace instantly and then just serves the final
 // state (useful for post-mortems).
+//
+// With -state, the agent snapshot is loaded at start if the file
+// exists and written durably (fsync before rename) at shutdown — and
+// every -checkpoint interval while running. A resumed agent skips the
+// periods its snapshot already covers, so a restart produces the same
+// report series as one uninterrupted run. A snapshot whose parameters
+// disagree with -t0/-a/-N is a startup error, never silently adopted.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
+	"net/netip"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/netsim"
+	"repro/internal/daemon"
 	"repro/internal/trace"
 )
 
@@ -48,13 +55,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("syndogd", flag.ContinueOnError)
 	var (
-		in        = fs.String("in", "", "input trace (binary format)")
-		listen    = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
-		speed     = fs.Float64("speed", 0, "trace seconds replayed per wall second (0 = instant)")
-		t0        = fs.Duration("t0", 20*time.Second, "observation period")
-		offset    = fs.Float64("a", 0.35, "CUSUM offset a")
-		threshold = fs.Float64("N", 1.05, "flooding threshold N")
-		statePath = fs.String("state", "", "snapshot file: loaded at start if present, written at shutdown")
+		in         = fs.String("in", "", "input trace (binary format)")
+		listen     = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		speed      = fs.Float64("speed", 0, "trace seconds replayed per wall second (0 = instant)")
+		t0         = fs.Duration("t0", 20*time.Second, "observation period")
+		offset     = fs.Float64("a", 0.35, "CUSUM offset a")
+		threshold  = fs.Float64("N", 1.05, "flooding threshold N")
+		statePath  = fs.String("state", "", "snapshot file: loaded at start if present, written at shutdown")
+		checkpoint = fs.Duration("checkpoint", 0, "periodic snapshot interval (0 = only at shutdown; needs -state)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,215 +70,45 @@ func run(args []string) error {
 	if *in == "" {
 		return errors.New("missing -in")
 	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	tr, err := trace.ReadBinary(f)
-	f.Close()
-	if err != nil {
-		return err
+	if *checkpoint > 0 && *statePath == "" {
+		return errors.New("-checkpoint needs -state")
 	}
 
-	agent, err := loadOrNewAgent(*statePath, core.Config{T0: *t0, Offset: *offset, Threshold: *threshold})
+	// Validate once at the door; both replay paths then trust the
+	// trace's invariants.
+	tr, err := trace.LoadValidated(*in, netip.Prefix{})
 	if err != nil {
 		return err
 	}
 
-	d := newDaemon(agent, tr)
+	cfg := core.Config{T0: *t0, Offset: *offset, Threshold: *threshold}
+	agent, resumed, err := daemon.LoadOrNewAgent(*statePath, cfg)
+	if err != nil {
+		return err
+	}
+	if resumed {
+		fmt.Fprintf(os.Stderr, "syndogd: resumed from %s (%d periods, K-bar %.1f)\n",
+			*statePath, len(agent.Reports()), agent.KBar())
+	}
+
+	d, err := daemon.New(agent, tr, daemon.Options{
+		Name:               "syndogd",
+		StatePath:          *statePath,
+		CheckpointInterval: *checkpoint,
+	})
+	if err != nil {
+		return err
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	serveErr := d.serve(ctx, *listen, *speed)
+	serveErr := d.Serve(ctx, *listen, *speed)
+	// Final snapshot on shutdown, even when the signal arrived
+	// mid-replay: the completed periods are durable either way.
 	if *statePath != "" {
-		if err := d.saveSnapshot(*statePath); err != nil {
+		if err := d.SaveState(*statePath); err != nil {
 			return err
 		}
 	}
 	return serveErr
-}
-
-// loadOrNewAgent resumes from a snapshot file when one exists,
-// otherwise builds a fresh agent with cfg.
-func loadOrNewAgent(statePath string, cfg core.Config) (*core.Agent, error) {
-	if statePath != "" {
-		if f, err := os.Open(statePath); err == nil {
-			defer f.Close()
-			agent, err := core.ReadSnapshot(f)
-			if err != nil {
-				return nil, fmt.Errorf("resume from %s: %w", statePath, err)
-			}
-			fmt.Fprintf(os.Stderr, "syndogd: resumed from %s (%d periods, K-bar %.1f)\n",
-				statePath, len(agent.Reports()), agent.KBar())
-			return agent, nil
-		}
-	}
-	return core.NewAgent(cfg)
-}
-
-// saveSnapshot persists the agent state atomically.
-func (d *daemon) saveSnapshot(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	d.mu.Lock()
-	werr := d.agent.WriteSnapshot(f)
-	d.mu.Unlock()
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	if cerr != nil {
-		return cerr
-	}
-	return os.Rename(tmp, path)
-}
-
-// daemon owns the agent behind a mutex: the replay goroutine writes,
-// HTTP handlers read.
-type daemon struct {
-	mu    sync.Mutex
-	agent *core.Agent
-	tr    *trace.Trace
-	done  bool
-}
-
-func newDaemon(agent *core.Agent, tr *trace.Trace) *daemon {
-	return &daemon{agent: agent, tr: tr}
-}
-
-// statusSnapshot is the /status payload.
-type statusSnapshot struct {
-	Trace        string        `json:"trace"`
-	Periods      int           `json:"periods"`
-	KBar         float64       `json:"kBar"`
-	Statistic    float64       `json:"yn"`
-	Alarmed      bool          `json:"alarmed"`
-	AlarmPeriod  int           `json:"alarmPeriod,omitempty"`
-	AlarmAtNanos int64         `json:"alarmAtNanos,omitempty"`
-	ReplayDone   bool          `json:"replayDone"`
-	T0           time.Duration `json:"t0Nanos"`
-}
-
-func (d *daemon) snapshot() statusSnapshot {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	reports := d.agent.Reports()
-	s := statusSnapshot{
-		Trace:      d.tr.Name,
-		Periods:    len(reports),
-		KBar:       d.agent.KBar(),
-		Alarmed:    d.agent.Alarmed(),
-		ReplayDone: d.done,
-		T0:         d.agent.Config().T0,
-	}
-	if len(reports) > 0 {
-		s.Statistic = reports[len(reports)-1].Y
-	}
-	if al := d.agent.FirstAlarm(); al != nil {
-		s.AlarmPeriod = al.Period
-		s.AlarmAtNanos = int64(al.At)
-	}
-	return s
-}
-
-// replay feeds the trace through the agent. speed 0 means instant.
-func (d *daemon) replay(ctx context.Context, speed float64) {
-	if speed <= 0 {
-		d.mu.Lock()
-		_, _ = d.agent.ProcessTrace(d.tr) // trace was validated on load paths
-		d.done = true
-		d.mu.Unlock()
-		return
-	}
-	t0 := d.agent.Config().T0
-	periods := int(d.tr.Span / t0)
-	next := t0
-	idx := 0
-	for p := 0; p < periods; p++ {
-		select {
-		case <-ctx.Done():
-			return
-		case <-time.After(time.Duration(float64(t0) / speed)):
-		}
-		d.mu.Lock()
-		for idx < len(d.tr.Records) && d.tr.Records[idx].Ts < next {
-			r := d.tr.Records[idx]
-			d.agent.Observe(toDir(r.Dir), r.Kind)
-			idx++
-		}
-		d.agent.EndPeriod(next)
-		d.mu.Unlock()
-		next += t0
-	}
-	d.mu.Lock()
-	d.done = true
-	d.mu.Unlock()
-}
-
-func toDir(dir trace.Direction) netsim.Direction {
-	if dir == trace.DirOut {
-		return netsim.Outbound
-	}
-	return netsim.Inbound
-}
-
-// handler builds the HTTP mux.
-func (d *daemon) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(d.snapshot())
-	})
-	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, _ *http.Request) {
-		d.mu.Lock()
-		reports := append([]core.Report(nil), d.agent.Reports()...)
-		d.mu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(reports)
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		s := d.snapshot()
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprintf(w, "# TYPE syndog_periods_total counter\nsyndog_periods_total %d\n", s.Periods)
-		fmt.Fprintf(w, "# TYPE syndog_kbar gauge\nsyndog_kbar %g\n", s.KBar)
-		fmt.Fprintf(w, "# TYPE syndog_statistic gauge\nsyndog_statistic %g\n", s.Statistic)
-		alarmed := 0
-		if s.Alarmed {
-			alarmed = 1
-		}
-		fmt.Fprintf(w, "# TYPE syndog_alarmed gauge\nsyndog_alarmed %d\n", alarmed)
-	})
-	return mux
-}
-
-// serve starts the replay and the HTTP server, returning when ctx is
-// cancelled.
-func (d *daemon) serve(ctx context.Context, listen string, speed float64) error {
-	ln, err := net.Listen("tcp", listen)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "syndogd: serving on http://%s (trace %q, %d records)\n",
-		ln.Addr(), d.tr.Name, len(d.tr.Records))
-
-	srv := &http.Server{Handler: d.handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.Serve(ln) }()
-	go d.replay(ctx, speed)
-
-	select {
-	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-		return ctx.Err()
-	case err := <-errCh:
-		return err
-	}
 }

@@ -1,254 +1,106 @@
 package main
 
+// The daemon's behavior (replay, resume equivalence, endpoints,
+// checkpointing) is tested in internal/daemon; these tests cover what
+// the command itself owns: flag validation and the startup error
+// paths that must exit non-zero — an unreadable or invalid trace, and
+// a snapshot whose config disagrees with the flags.
+
 import (
-	"context"
-	"encoding/json"
-	"net/http"
-	"net/http/httptest"
-	"net/netip"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/flood"
+	"repro/internal/daemon"
 	"repro/internal/trace"
 )
 
-func testTrace(t *testing.T, withFlood bool) *trace.Trace {
-	t.Helper()
-	p := trace.Auckland()
-	p.Span = 10 * time.Minute
-	p.OutagesPerHour = 0
-	bg, err := trace.Generate(p, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !withFlood {
-		return bg
-	}
-	fl, err := flood.GenerateTrace(flood.Config{
-		Start: 3 * time.Minute, Duration: 5 * time.Minute,
-		Pattern: flood.Constant{PerSecond: 10},
-		Victim:  netip.MustParseAddr("11.99.99.1"), VictimPort: 80, Seed: 1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	mixed := trace.Merge("mixed", bg, fl)
-	mixed.Span = bg.Span
-	return mixed
-}
-
-func newTestDaemon(t *testing.T, withFlood bool) *daemon {
-	t.Helper()
-	agent, err := core.NewAgent(core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return newDaemon(agent, testTrace(t, withFlood))
-}
-
-func TestInstantReplayStatus(t *testing.T) {
-	d := newTestDaemon(t, true)
-	d.replay(context.Background(), 0)
-
-	srv := httptest.NewServer(d.handler())
-	defer srv.Close()
-
-	resp, err := http.Get(srv.URL + "/status")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var s statusSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
-		t.Fatal(err)
-	}
-	if !s.ReplayDone {
-		t.Error("replay not marked done")
-	}
-	if s.Periods != 30 {
-		t.Errorf("periods = %d, want 30", s.Periods)
-	}
-	if !s.Alarmed {
-		t.Error("flooded trace did not alarm")
-	}
-	if s.AlarmPeriod < 9 {
-		t.Errorf("alarm period %d precedes onset period 9", s.AlarmPeriod)
-	}
-	if s.KBar <= 0 {
-		t.Error("K-bar not populated")
-	}
-}
-
-func TestCleanTraceStaysQuiet(t *testing.T) {
-	d := newTestDaemon(t, false)
-	d.replay(context.Background(), 0)
-	s := d.snapshot()
-	if s.Alarmed {
-		t.Error("benign trace alarmed")
-	}
-}
-
-func TestHealthz(t *testing.T) {
-	d := newTestDaemon(t, false)
-	srv := httptest.NewServer(d.handler())
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz = %d", resp.StatusCode)
-	}
-}
-
-func TestReportsEndpoint(t *testing.T) {
-	d := newTestDaemon(t, true)
-	d.replay(context.Background(), 0)
-	srv := httptest.NewServer(d.handler())
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/reports")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var reports []core.Report
-	if err := json.NewDecoder(resp.Body).Decode(&reports); err != nil {
-		t.Fatal(err)
-	}
-	if len(reports) != 30 {
-		t.Errorf("reports = %d, want 30", len(reports))
-	}
-	sawAlarm := false
-	for _, r := range reports {
-		if r.Alarmed {
-			sawAlarm = true
-		}
-	}
-	if !sawAlarm {
-		t.Error("no alarmed period in reports")
-	}
-}
-
-func TestMetricsEndpoint(t *testing.T) {
-	d := newTestDaemon(t, true)
-	d.replay(context.Background(), 0)
-	srv := httptest.NewServer(d.handler())
-	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	buf := new(strings.Builder)
-	if _, err := json.NewDecoder(resp.Body).Token(); err == nil {
-		t.Error("metrics should not be JSON")
-	}
-	_ = buf
-	resp2, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp2.Body.Close()
-	body := make([]byte, 4096)
-	n, _ := resp2.Body.Read(body)
-	text := string(body[:n])
-	for _, want := range []string{"syndog_periods_total 30", "syndog_alarmed 1", "syndog_kbar", "syndog_statistic"} {
-		if !strings.Contains(text, want) {
-			t.Errorf("metrics missing %q in:\n%s", want, text)
-		}
-	}
-}
-
-func TestPacedReplayRespectsContext(t *testing.T) {
-	d := newTestDaemon(t, false)
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		d.replay(ctx, 0.001) // absurdly slow: must rely on cancellation
-	}()
-	time.Sleep(20 * time.Millisecond)
-	cancel()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("replay did not stop on context cancellation")
-	}
-	if d.snapshot().ReplayDone {
-		t.Error("cancelled replay claimed completion")
-	}
-}
-
-func TestPacedReplayProgresses(t *testing.T) {
-	d := newTestDaemon(t, false)
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
-	defer cancel()
-	// 20s periods at speed 4000: one period per 5ms of wall time.
-	go d.replay(ctx, 4000)
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if d.snapshot().Periods >= 3 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("paced replay stuck at %d periods", d.snapshot().Periods)
-}
-
-func TestSnapshotPersistenceAcrossRestart(t *testing.T) {
-	statePath := t.TempDir() + "/agent.json"
-
-	// First "boot": process the flooded trace, save the snapshot.
-	d1 := newTestDaemon(t, true)
-	d1.replay(context.Background(), 0)
-	if !d1.snapshot().Alarmed {
-		t.Fatal("setup: no alarm")
-	}
-	if err := d1.saveSnapshot(statePath); err != nil {
-		t.Fatal(err)
-	}
-
-	// Second "boot": resume from the snapshot.
-	agent, err := loadOrNewAgent(statePath, core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !agent.Alarmed() {
-		t.Error("alarm lost across daemon restart")
-	}
-	if len(agent.Reports()) != 30 {
-		t.Errorf("reports = %d, want 30", len(agent.Reports()))
-	}
-
-	// Missing state file falls back to a fresh agent.
-	fresh, err := loadOrNewAgent(t.TempDir()+"/none.json", core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(fresh.Reports()) != 0 {
-		t.Error("fresh agent has history")
-	}
-
-	// Corrupt state is an error, not a silent fresh start.
-	bad := t.TempDir() + "/bad.json"
-	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := loadOrNewAgent(bad, core.Config{}); err == nil {
-		t.Error("corrupt snapshot silently ignored")
-	}
-}
-
-func TestRunValidation(t *testing.T) {
+func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing -in accepted")
 	}
 	if err := run([]string{"-in", "/nonexistent"}); err == nil {
 		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-in", "x.trace", "-checkpoint", "5s"}); err == nil ||
+		!strings.Contains(err.Error(), "-state") {
+		t.Error("-checkpoint without -state accepted")
+	}
+}
+
+func TestRunRejectsInvalidTrace(t *testing.T) {
+	dir := t.TempDir()
+
+	// Garbage bytes: the binary codec must refuse them at startup.
+	garbage := filepath.Join(dir, "garbage.trace")
+	if err := os.WriteFile(garbage, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", garbage}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+
+	// Structurally valid file whose records are unsorted: replay would
+	// mis-bucket periods, so load-time validation must reject it.
+	unsorted := filepath.Join(dir, "unsorted.csv")
+	if err := trace.Save(unsorted, &trace.Trace{
+		Name: "unsorted", Span: time.Hour,
+		Records: []trace.Record{{Ts: 2 * time.Second}, {Ts: time.Second}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", unsorted}); err == nil {
+		t.Error("unsorted trace accepted")
+	}
+
+	// A trace shorter than one observation period cannot produce a
+	// single report.
+	short := filepath.Join(dir, "short.trace")
+	if err := trace.Save(short, &trace.Trace{Name: "short", Span: 5 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", short}); err == nil {
+		t.Error("sub-period trace accepted")
+	}
+}
+
+func TestRunRejectsConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+
+	// Snapshot taken at the default parameters.
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := filepath.Join(dir, "state.json")
+	if err := daemon.WriteSnapshotFile(agent.Snapshot(), state); err != nil {
+		t.Fatal(err)
+	}
+	tr := filepath.Join(dir, "bg.trace")
+	if err := trace.Save(tr, &trace.Trace{Name: "bg", Span: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flags that disagree with the snapshot must be a startup error,
+	// not silently lose to the snapshot.
+	err = run([]string{"-in", tr, "-state", state, "-t0", "30s"})
+	if err == nil || !strings.Contains(err.Error(), "config") {
+		t.Errorf("config-mismatch resume: err = %v, want config mismatch", err)
+	}
+	err = run([]string{"-in", tr, "-state", state, "-N", "9.9"})
+	if err == nil || !strings.Contains(err.Error(), "config") {
+		t.Errorf("threshold mismatch resume: err = %v, want config mismatch", err)
+	}
+
+	// Corrupt state is equally fatal.
+	badState := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badState, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", tr, "-state", badState}); err == nil {
+		t.Error("corrupt snapshot accepted")
 	}
 }

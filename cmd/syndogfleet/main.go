@@ -17,6 +17,12 @@
 // through the experiment engine's worker pool; each trial renders into
 // its own buffer and the reports print in trial order, so the output
 // does not depend on -parallel.
+//
+// -snapshot-dir writes each stub agent's final state as a durable
+// snapshot (stub00.json, stub01.json, …) via the daemon package's
+// fsync-before-rename writer; a snapshot can then be served or resumed
+// by syndogd (-state stub03.json with matching -t0/-a/-N). With
+// -trials > 1 each trial writes into its own trialN/ subdirectory.
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"math/rand"
 	"net/netip"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/eventsim"
 	"repro/internal/experiment"
 	"repro/internal/flood"
@@ -60,6 +68,7 @@ type campaignConfig struct {
 	t0              time.Duration
 	benign          float64
 	seed            int64
+	snapshotDir     string
 }
 
 func run(args []string) error {
@@ -75,6 +84,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		trials    = fs.Int("trials", 1, "independent campaigns to run (trial i uses seed+i)")
 		parallel  = fs.Int("parallel", 0, "worker count for -trials > 1 (0 = one per CPU)")
+		snapDir   = fs.String("snapshot-dir", "", "write each stub agent's final snapshot into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +101,7 @@ func run(args []string) error {
 	cfg := campaignConfig{
 		stubs: *stubs, flooders: *flooders, totalRate: *totalRate,
 		duration: *duration, onset: *onset, t0: *t0,
-		benign: *benign, seed: *seed,
+		benign: *benign, seed: *seed, snapshotDir: *snapDir,
 	}
 	if *trials == 1 {
 		return runCampaign(cfg, os.Stdout)
@@ -104,6 +114,9 @@ func run(args []string) error {
 	err := experiment.ForEach(*parallel, *trials, func(i int) error {
 		c := cfg
 		c.seed = cfg.seed + int64(i)
+		if cfg.snapshotDir != "" {
+			c.snapshotDir = filepath.Join(cfg.snapshotDir, fmt.Sprintf("trial%d", i))
+		}
 		fmt.Fprintf(&bufs[i], "=== trial %d (seed %d) ===\n", i, c.seed)
 		return runCampaign(c, &bufs[i])
 	})
@@ -258,6 +271,23 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%s stub %2d [%s] %s\n", marker, i, role, verdict)
 	}
+	// Persist the fleet's final agent states durably so any stub can
+	// be inspected or resumed by syndogd after the campaign — written
+	// even when a verdict disagrees, since a miss is exactly when the
+	// operator wants the state on disk.
+	if cfg.snapshotDir != "" {
+		if err := os.MkdirAll(cfg.snapshotDir, 0o755); err != nil {
+			return err
+		}
+		for i, sr := range reports {
+			path := filepath.Join(cfg.snapshotDir, fmt.Sprintf("stub%02d.json", i))
+			if err := daemon.WriteSnapshotFile(sr.agent.Snapshot(), path); err != nil {
+				return fmt.Errorf("snapshot stub %d: %w", i, err)
+			}
+		}
+		fmt.Fprintf(w, "\nsnapshots: %d stub agents written to %s\n", len(reports), cfg.snapshotDir)
+	}
+
 	st := server.Stats()
 	fmt.Fprintf(w, "\nvictim: %d SYNs, %d dropped (backlog full), %d established\n",
 		st.SynReceived, st.SynDropped, st.Established)

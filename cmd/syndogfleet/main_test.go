@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
 )
 
 func TestFleetEndToEnd(t *testing.T) {
@@ -72,5 +78,60 @@ func TestFleetCampaignDeterministic(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Errorf("same seed, different reports:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestFleetSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-stubs", "3", "-flooders", "1", "-rate", "80",
+		"-duration", "60s", "-onset", "20s", "-t0", "10s", "-seed", "3",
+		"-snapshot-dir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every stub's agent must be on disk as a resumable snapshot with
+	// the campaign's config; stub 0 hosted the slave, so its restored
+	// agent must still carry the alarm.
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("stub%02d.json", i))
+		agent, resumed, err := daemon.LoadOrNewAgent(path, core.Config{T0: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("stub %d: %v", i, err)
+		}
+		if !resumed {
+			t.Fatalf("stub %d: snapshot missing", i)
+		}
+		if len(agent.Reports()) == 0 {
+			t.Errorf("stub %d: empty report history", i)
+		}
+		if wantAlarm := i == 0; agent.Alarmed() != wantAlarm {
+			t.Errorf("stub %d: alarmed = %v, want %v", i, agent.Alarmed(), wantAlarm)
+		}
+	}
+	// A mismatched config must refuse the fleet snapshot, same as any
+	// other resume.
+	path := filepath.Join(dir, "stub00.json")
+	if _, _, err := daemon.LoadOrNewAgent(path, core.Config{}); err == nil {
+		t.Error("fleet snapshot resumed under wrong t0")
+	}
+}
+
+func TestFleetSnapshotDirPerTrial(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-stubs", "2", "-flooders", "1", "-rate", "80",
+		"-duration", "60s", "-onset", "20s", "-t0", "10s", "-seed", "3",
+		"-trials", "2", "-parallel", "2", "-snapshot-dir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2; trial++ {
+		path := filepath.Join(dir, fmt.Sprintf("trial%d", trial), "stub00.json")
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("trial %d snapshot: %v", trial, err)
+		}
 	}
 }

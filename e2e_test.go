@@ -213,3 +213,138 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Errorf("status lacks alarm: %s", status)
 	}
 }
+
+// TestDaemonResumeEndToEnd exercises the shipped binary's resume path:
+// run syndogd with -state and -checkpoint, SIGTERM it mid-replay,
+// restart it from the snapshot, and require the final /reports payload
+// to be byte-identical to an uninterrupted run over the same trace.
+func TestDaemonResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir, "tracegen", "floodgen", "syndogd")
+
+	bg := filepath.Join(dir, "bg.trace")
+	mixed := filepath.Join(dir, "mixed.trace")
+	for _, args := range [][]string{
+		{bins["tracegen"], "-site", "auckland", "-span", "10m", "-seed", "4", "-o", bg},
+		{bins["floodgen"], "-in", bg, "-rate", "10", "-start", "2m", "-duration", "8m", "-o", mixed},
+	} {
+		if out, err := exec.Command(args[0], args[1:]...).CombinedOutput(); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+	}
+
+	// startDaemon launches syndogd, waits for the serving banner, and
+	// returns the base URL, the accumulated stderr, and the command.
+	startDaemon := func(args ...string) (string, *strings.Builder, *exec.Cmd) {
+		t.Helper()
+		cmd := exec.Command(bins["syndogd"], args...)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		banner := regexp.MustCompile(`http://([0-9.]+:[0-9]+)`)
+		sc := bufio.NewScanner(stderr)
+		var log strings.Builder
+		for sc.Scan() {
+			log.WriteString(sc.Text() + "\n")
+			if m := banner.FindStringSubmatch(sc.Text()); m != nil {
+				go func() {
+					for sc.Scan() {
+						log.WriteString(sc.Text() + "\n")
+					}
+				}()
+				return "http://" + m[1], &log, cmd
+			}
+		}
+		t.Fatalf("no serving banner; stderr so far:\n%s", log.String())
+		return "", nil, nil
+	}
+
+	get := func(base, path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	type status struct {
+		Periods      int  `json:"periods"`
+		ReplayDone   bool `json:"replayDone"`
+		ResumeOffset int  `json:"resumeOffset"`
+	}
+	waitStatus := func(base string, ok func(status) bool) status {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			var s status
+			if err := json.Unmarshal([]byte(get(base, "/status")), &s); err != nil {
+				t.Fatal(err)
+			}
+			if ok(s) {
+				return s
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("status never converged: %+v", s)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	stop := func(cmd *exec.Cmd) {
+		t.Helper()
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("daemon exited non-zero after SIGINT: %v", err)
+		}
+	}
+
+	// Reference: one uninterrupted instant replay.
+	base, _, ref := startDaemon("-in", mixed, "-listen", "127.0.0.1:0")
+	waitStatus(base, func(s status) bool { return s.ReplayDone })
+	wantReports := get(base, "/reports")
+	stop(ref)
+
+	// First boot: paced replay with checkpointing, killed mid-replay.
+	state := filepath.Join(dir, "agent.json")
+	base, _, first := startDaemon("-in", mixed, "-listen", "127.0.0.1:0",
+		"-speed", "200", "-state", state, "-checkpoint", "50ms")
+	mid := waitStatus(base, func(s status) bool { return s.Periods >= 5 })
+	stop(first)
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("no snapshot after shutdown: %v", err)
+	}
+
+	// Second boot: resume the snapshot and finish instantly.
+	base, log, second := startDaemon("-in", mixed, "-listen", "127.0.0.1:0",
+		"-speed", "0", "-state", state)
+	fin := waitStatus(base, func(s status) bool { return s.ReplayDone })
+	if fin.ResumeOffset < 5 {
+		t.Errorf("resume offset = %d, want >= 5 (killed at %d periods)", fin.ResumeOffset, mid.Periods)
+	}
+	if !strings.Contains(log.String(), "resumed from") {
+		t.Errorf("no resume notice in stderr:\n%s", log.String())
+	}
+	if !strings.Contains(get(base, "/metrics"), "syndog_records_skipped_total") {
+		t.Error("metrics missing skip counter")
+	}
+	gotReports := get(base, "/reports")
+	stop(second)
+
+	if gotReports != wantReports {
+		t.Error("resumed daemon's /reports differ from uninterrupted run")
+	}
+}

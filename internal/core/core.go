@@ -119,6 +119,16 @@ type Config struct {
 	WarmupPeriods int
 }
 
+// Normalized returns the configuration with defaults applied — the
+// effective parameters an agent built from c would run with. Two
+// configurations are interchangeable exactly when their normalized
+// forms are equal; the daemon uses this to refuse resuming a snapshot
+// whose parameters disagree with the command line.
+func (c Config) Normalized() Config {
+	c.applyDefaults()
+	return c
+}
+
 func (c *Config) applyDefaults() {
 	if c.T0 == 0 {
 		c.T0 = DefaultObservationPeriod
@@ -340,6 +350,13 @@ func (a *Agent) Design() cusum.Design {
 // record is counted, and a period boundary fires each T0. The trailing
 // partial period is discarded, mirroring trace.Aggregate. It returns
 // the agent's accumulated period reports.
+//
+// ProcessTrace is resume-aware: an agent restored from a snapshot
+// already holds len(Reports()) completed periods, so replay skips that
+// many leading periods of the trace — records inside them were counted
+// before the snapshot and must not be appended again. A fresh agent
+// has zero reports and replays from the start; an agent whose history
+// already covers the whole trace returns its reports unchanged.
 func (a *Agent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
 	if tr.Span <= 0 {
 		return nil, errors.New("core: trace has no span")
@@ -351,9 +368,16 @@ func (a *Agent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
 	if periods == 0 {
 		return nil, fmt.Errorf("core: trace span %v shorter than one period %v", tr.Span, a.cfg.T0)
 	}
-	next := a.cfg.T0 // end of the current period
-	done := 0
+	done := len(a.reports) // resume offset: periods already reported
+	if done >= periods {
+		return a.reports, nil
+	}
+	resumed := a.cfg.T0 * time.Duration(done)
+	next := resumed + a.cfg.T0 // end of the current period
 	for _, r := range tr.Records {
+		if r.Ts < resumed {
+			continue // already counted before the snapshot
+		}
 		for r.Ts >= next && done < periods {
 			a.EndPeriod(next)
 			next += a.cfg.T0

@@ -421,3 +421,104 @@ func TestInstallOnRouterDetectsSimulatedFlood(t *testing.T) {
 		t.Errorf("alarm at %v, want shortly after flood onset at 10s", al.At)
 	}
 }
+
+// truncateTrace returns the prefix of tr before span — what an agent
+// saw of the trace when it stopped at that point.
+func truncateTrace(tr *trace.Trace, span time.Duration) *trace.Trace {
+	out := &trace.Trace{Name: tr.Name, Span: span}
+	for _, r := range tr.Records {
+		if r.Ts < span {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// TestProcessTraceResumeEquivalence pins the resume contract: snapshot
+// after k periods, restore, finish the full trace — the report series,
+// alarm and K-bar must match a single uninterrupted run exactly.
+func TestProcessTraceResumeEquivalence(t *testing.T) {
+	p := trace.Auckland()
+	p.Span = 10 * time.Minute
+	tr, err := trace.Generate(p, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, _ := NewAgent(Config{})
+	want, err := ref.ProcessTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{0, 1, 13, 29, 30} {
+		a1, _ := NewAgent(Config{})
+		if k > 0 {
+			if _, err := a1.ProcessTrace(truncateTrace(tr, time.Duration(k)*20*time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a2, err := RestoreAgent(a1.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a2.ProcessTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d reports, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("k=%d: report %d = %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+		if a2.KBar() != ref.KBar() {
+			t.Errorf("k=%d: K-bar %v, want %v", k, a2.KBar(), ref.KBar())
+		}
+		if a2.Alarmed() != ref.Alarmed() {
+			t.Errorf("k=%d: alarmed %v, want %v", k, a2.Alarmed(), ref.Alarmed())
+		}
+	}
+}
+
+// TestProcessTraceFullHistoryIsNoop: an agent whose history already
+// covers the trace must not append anything on a second replay.
+func TestProcessTraceFullHistoryIsNoop(t *testing.T) {
+	p := trace.Auckland()
+	p.Span = 4 * time.Minute
+	tr, err := trace.Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewAgent(Config{})
+	first, err := a.ProcessTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(first)
+	again, err := a.ProcessTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != n {
+		t.Errorf("second replay grew reports %d -> %d (double count)", n, len(again))
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	got := Config{}.Normalized()
+	want := Config{
+		T0: DefaultObservationPeriod, Alpha: DefaultAlpha,
+		Offset: 0.35, Threshold: 1.05, MinK: 1,
+	}
+	if got != want {
+		t.Errorf("Normalized() = %+v, want %+v", got, want)
+	}
+	// Explicit values survive normalization.
+	cfg := Config{T0: 10 * time.Second, Offset: 0.2, Threshold: 0.6}
+	if n := cfg.Normalized(); n.T0 != 10*time.Second || n.Offset != 0.2 || n.Threshold != 0.6 {
+		t.Errorf("Normalized() clobbered explicit values: %+v", n)
+	}
+}

@@ -77,6 +77,8 @@ func (l *LastMileAgent) EndPeriod(now time.Duration) Report {
 
 // ProcessTrace replays a victim-side trace: the trace's DirIn records
 // are packets arriving at the victim stub, DirOut records leaving it.
+// Like Agent.ProcessTrace it is resume-aware: periods already present
+// in the report history are skipped rather than re-appended.
 func (l *LastMileAgent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -85,9 +87,16 @@ func (l *LastMileAgent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
 	if periods == 0 {
 		return nil, errTraceTooShort(tr.Span, l.agent.cfg.T0)
 	}
-	next := l.agent.cfg.T0
-	done := 0
+	done := len(l.agent.reports)
+	if done >= periods {
+		return l.agent.reports, nil
+	}
+	resumed := l.agent.cfg.T0 * time.Duration(done)
+	next := resumed + l.agent.cfg.T0
 	for _, r := range tr.Records {
+		if r.Ts < resumed {
+			continue
+		}
 		for r.Ts >= next && done < periods {
 			l.EndPeriod(next)
 			next += l.agent.cfg.T0

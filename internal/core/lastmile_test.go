@@ -203,3 +203,36 @@ func TestFlippedFloodFeedsLastMile(t *testing.T) {
 		t.Error("unanswered flood did not alarm the last mile")
 	}
 }
+
+// TestLastMileResumeSkipsReportedPeriods mirrors the first-mile resume
+// contract: a last-mile agent with k periods of history replays only
+// the remainder of the trace.
+func TestLastMileResumeSkipsReportedPeriods(t *testing.T) {
+	tr := buildVictimTrace()
+	ref, _ := NewLastMileAgent(Config{})
+	want, err := ref.ProcessTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 12
+	l1, _ := NewLastMileAgent(Config{})
+	if _, err := l1.ProcessTrace(truncateTrace(tr, k*20*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l1.Reports()); got != k {
+		t.Fatalf("partial run = %d periods, want %d", got, k)
+	}
+	got, err := l1.ProcessTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed run = %d periods, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

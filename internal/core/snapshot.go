@@ -82,11 +82,19 @@ func RestoreAgent(s Snapshot) (*Agent, error) {
 	return a, nil
 }
 
-// WriteSnapshot serializes the agent's state as JSON.
-func (a *Agent) WriteSnapshot(w io.Writer) error {
+// Write serializes the snapshot as indented JSON — the on-disk format
+// ReadSnapshot accepts. Exposed separately from Agent.WriteSnapshot so
+// callers can capture a Snapshot value under their own locking and
+// persist it without holding the agent.
+func (s Snapshot) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(a.Snapshot())
+	return enc.Encode(s)
+}
+
+// WriteSnapshot serializes the agent's state as JSON.
+func (a *Agent) WriteSnapshot(w io.Writer) error {
+	return a.Snapshot().Write(w)
 }
 
 // ReadSnapshot deserializes and restores an agent.

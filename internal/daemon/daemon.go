@@ -1,0 +1,289 @@
+// Package daemon is the hardened operational core shared by the
+// long-lived SYN-dog binaries (cmd/syndogd, cmd/syndogfleet): trace
+// replay through a core.Agent — instant or paced against absolute
+// wall-clock deadlines — live HTTP state, and durable snapshot /
+// checkpoint handling.
+//
+// The package exists to make the resume/replay path provably
+// equivalent to a single uninterrupted run, which is what the CUSUM
+// change-point literature assumes of a continuously-running statistic:
+//
+//   - Replay is resume-aware: an agent restored from a snapshot with N
+//     completed periods skips the first N periods of the trace instead
+//     of re-appending them.
+//   - Pacing derives every period boundary from one start instant, so
+//     scheduler latency inside a period does not accumulate into the
+//     next (no chained time.After drift).
+//   - Replay failures are daemon state, surfaced via /status and
+//     /healthz (503) and returned from Serve so the process exits
+//     non-zero — never discarded.
+//   - Snapshots are durable (fsync before rename, directory fsync) and
+//     can be written periodically on a checkpoint interval, so a crash
+//     loses at most one interval of evidence.
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// Options configures a Daemon beyond its agent and trace.
+type Options struct {
+	// Name prefixes log lines (default "daemon"; cmd/syndogd passes
+	// its own name so operator-facing output is unchanged).
+	Name string
+	// Log receives the startup banner and checkpoint notices (default
+	// os.Stderr; tests redirect it).
+	Log io.Writer
+	// StatePath, when non-empty, is where Checkpoint and SaveState
+	// persist the agent snapshot.
+	StatePath string
+	// CheckpointInterval enables periodic snapshots during Serve when
+	// positive and StatePath is set. Zero disables checkpointing; the
+	// final snapshot on shutdown is written regardless.
+	CheckpointInterval time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.Name == "" {
+		o.Name = "daemon"
+	}
+	if o.Log == nil {
+		o.Log = os.Stderr
+	}
+}
+
+// Daemon owns a core.Agent replaying one trace behind a mutex: the
+// replay goroutine writes, HTTP handlers and checkpoints read.
+type Daemon struct {
+	opts Options
+
+	mu    sync.Mutex
+	agent *core.Agent
+	tr    *trace.Trace
+
+	resumeOffset int // periods already in the agent when the daemon started
+	totalPeriods int // complete periods the trace spans
+	records      int // records replayed so far (this run)
+	skipped      int // records skipped: their period predates the resume point
+	done         bool
+	replayErr    error
+
+	checkpoints    int
+	lastCheckpoint time.Time
+}
+
+// New validates the trace once at the door and builds a daemon around
+// agent. If the agent was resumed from a snapshot, its existing report
+// history becomes the resume offset: replay will skip that many
+// leading periods. New fails on an invalid or too-short trace, or when
+// the agent's history claims more periods than the trace holds (the
+// snapshot cannot have come from this trace/config pairing).
+func New(agent *core.Agent, tr *trace.Trace, opts Options) (*Daemon, error) {
+	opts.applyDefaults()
+	if tr.Span <= 0 {
+		return nil, fmt.Errorf("daemon: trace %q has no span", tr.Name)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("daemon: trace %q: %w", tr.Name, err)
+	}
+	t0 := agent.Config().T0
+	periods := int(tr.Span / t0)
+	if periods == 0 {
+		return nil, fmt.Errorf("daemon: trace %q span %v shorter than one period %v", tr.Name, tr.Span, t0)
+	}
+	resume := len(agent.Reports())
+	if resume > periods {
+		return nil, fmt.Errorf("daemon: snapshot holds %d periods but trace %q spans only %d — wrong trace or state file",
+			resume, tr.Name, periods)
+	}
+	return &Daemon{
+		opts:         opts,
+		agent:        agent,
+		tr:           tr,
+		resumeOffset: resume,
+		totalPeriods: periods,
+	}, nil
+}
+
+// ResumeOffset returns how many periods of the trace are skipped
+// because the agent already reported them before this daemon started.
+func (d *Daemon) ResumeOffset() int { return d.resumeOffset }
+
+// TotalPeriods returns how many complete periods the trace spans.
+func (d *Daemon) TotalPeriods() int { return d.totalPeriods }
+
+// Replay feeds the trace through the agent, skipping periods already
+// covered by the agent's history. speed <= 0 replays instantly; a
+// positive speed replays that many trace seconds per wall second,
+// pacing each period boundary against an absolute deadline derived
+// from the replay start instant. The returned error is also recorded
+// in daemon state (visible via /status and /healthz) unless it is the
+// context's cancellation.
+func (d *Daemon) Replay(ctx context.Context, speed float64) error {
+	err := d.replay(ctx, speed)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case err == nil:
+		d.done = true
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Interrupted, not failed: the daemon is simply not done.
+	default:
+		d.replayErr = err
+	}
+	return err
+}
+
+func (d *Daemon) replay(ctx context.Context, speed float64) error {
+	t0 := d.agent.Config().T0
+	resumeStart := t0 * time.Duration(d.resumeOffset)
+
+	// Records inside already-reported periods were counted before the
+	// snapshot was taken; replaying them would double-count.
+	idx := sort.Search(len(d.tr.Records), func(i int) bool {
+		return d.tr.Records[i].Ts >= resumeStart
+	})
+	d.mu.Lock()
+	d.skipped = idx
+	d.mu.Unlock()
+
+	var (
+		start     time.Time
+		perPeriod time.Duration
+		timer     *time.Timer
+	)
+	if speed > 0 {
+		start = time.Now()
+		perPeriod = time.Duration(float64(t0) / speed)
+		timer = time.NewTimer(0)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	}
+
+	next := resumeStart + t0
+	for p := d.resumeOffset; p < d.totalPeriods; p++ {
+		if speed > 0 {
+			// Drift-free pacing: period p ends at an absolute deadline
+			// derived from the start instant. A late wakeup shortens
+			// the next wait instead of pushing every later period back
+			// the way chained time.After calls do.
+			deadline := start.Add(time.Duration(p-d.resumeOffset+1) * perPeriod)
+			timer.Reset(time.Until(deadline))
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else if err := ctx.Err(); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		for idx < len(d.tr.Records) && d.tr.Records[idx].Ts < next {
+			r := d.tr.Records[idx]
+			d.agent.Observe(toDir(r.Dir), r.Kind)
+			idx++
+			d.records++
+		}
+		d.agent.EndPeriod(next)
+		d.mu.Unlock()
+		next += t0
+	}
+	return nil
+}
+
+func toDir(dir trace.Direction) netsim.Direction {
+	if dir == trace.DirOut {
+		return netsim.Outbound
+	}
+	return netsim.Inbound
+}
+
+// failReplay records err as the replay failure. It exists so tests can
+// exercise the error-surfacing machinery (healthz 503, status field,
+// Serve's non-zero return) without constructing a failing trace.
+func (d *Daemon) failReplay(err error) {
+	d.mu.Lock()
+	d.replayErr = err
+	d.mu.Unlock()
+}
+
+// Serve starts the replay, the HTTP server, and (when configured) the
+// checkpoint loop, returning when ctx is cancelled, the listener
+// fails, or the replay fails. A replay failure shuts the server down
+// and is returned — the caller's process should exit non-zero.
+func (d *Daemon) Serve(ctx context.Context, listen string, speed float64) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(d.opts.Log, "%s: serving on http://%s (trace %q, %d records, %d/%d periods done)\n",
+		d.opts.Name, ln.Addr(), d.tr.Name, len(d.tr.Records), d.resumeOffset, d.totalPeriods)
+
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	replayDone := make(chan error, 1)
+	go func() { replayDone <- d.Replay(ctx, speed) }()
+
+	if d.opts.StatePath != "" && d.opts.CheckpointInterval > 0 {
+		go d.checkpointLoop(ctx)
+	}
+
+	shutdown := func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			shutdown()
+			return ctx.Err()
+		case err := <-serveErr:
+			return err
+		case err := <-replayDone:
+			if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				shutdown()
+				return fmt.Errorf("replay: %w", err)
+			}
+			// Replay finished (or was cancelled with the context, which
+			// the ctx.Done arm reports): keep serving the final state.
+			replayDone = nil
+		}
+	}
+}
+
+// checkpointLoop persists the agent every CheckpointInterval until ctx
+// is cancelled. Checkpoint failures are logged, not fatal: the daemon
+// keeps detecting even if its disk is briefly unhappy, and the final
+// shutdown snapshot still runs.
+func (d *Daemon) checkpointLoop(ctx context.Context) {
+	t := time.NewTicker(d.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := d.Checkpoint(); err != nil {
+				fmt.Fprintf(d.opts.Log, "%s: checkpoint: %v\n", d.opts.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Status is the /status payload. Field names are part of the daemon's
+// HTTP contract; additions are fine, renames are not.
+type Status struct {
+	Trace            string        `json:"trace"`
+	Periods          int           `json:"periods"`
+	TotalPeriods     int           `json:"totalPeriods"`
+	ResumeOffset     int           `json:"resumeOffset"`
+	RecordsProcessed int           `json:"recordsProcessed"`
+	RecordsSkipped   int           `json:"recordsSkipped"`
+	KBar             float64       `json:"kBar"`
+	Statistic        float64       `json:"yn"`
+	Alarmed          bool          `json:"alarmed"`
+	AlarmPeriod      int           `json:"alarmPeriod,omitempty"`
+	AlarmAtNanos     int64         `json:"alarmAtNanos,omitempty"`
+	ReplayDone       bool          `json:"replayDone"`
+	ReplayError      string        `json:"replayError,omitempty"`
+	LastOutSYN       uint64        `json:"lastOutSYN"`
+	LastInSYNACK     uint64        `json:"lastInSYNACK"`
+	Checkpoints      int           `json:"checkpoints"`
+	CheckpointAge    time.Duration `json:"checkpointAgeNanos,omitempty"`
+	T0               time.Duration `json:"t0Nanos"`
+}
+
+// Status returns a consistent snapshot of the daemon's state.
+func (d *Daemon) Status() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	reports := d.agent.Reports()
+	s := Status{
+		Trace:            d.tr.Name,
+		Periods:          len(reports),
+		TotalPeriods:     d.totalPeriods,
+		ResumeOffset:     d.resumeOffset,
+		RecordsProcessed: d.records,
+		RecordsSkipped:   d.skipped,
+		KBar:             d.agent.KBar(),
+		Alarmed:          d.agent.Alarmed(),
+		ReplayDone:       d.done,
+		Checkpoints:      d.checkpoints,
+		T0:               d.agent.Config().T0,
+	}
+	if d.replayErr != nil {
+		s.ReplayError = d.replayErr.Error()
+	}
+	if len(reports) > 0 {
+		last := reports[len(reports)-1]
+		s.Statistic = last.Y
+		s.LastOutSYN = last.OutSYN
+		s.LastInSYNACK = last.InSYNACK
+	}
+	if al := d.agent.FirstAlarm(); al != nil {
+		s.AlarmPeriod = al.Period
+		s.AlarmAtNanos = int64(al.At)
+	}
+	if !d.lastCheckpoint.IsZero() {
+		s.CheckpointAge = time.Since(d.lastCheckpoint)
+	}
+	return s
+}
+
+// Reports returns a copy of the agent's period reports.
+func (d *Daemon) Reports() []core.Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]core.Report(nil), d.agent.Reports()...)
+}
+
+// Handler builds the daemon's HTTP mux:
+//
+//	GET /healthz  -> 200 "ok", or 503 with the replay error
+//	GET /status   -> JSON Status
+//	GET /reports  -> JSON array of per-period reports
+//	GET /metrics  -> Prometheus-style text exposition
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s := d.Status(); s.ReplayError != "" {
+			http.Error(w, "replay failed: "+s.ReplayError, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Status())
+	})
+	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Reports())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, d.Status())
+	})
+	return mux
+}
+
+// writeMetrics renders the exposition. Metric names are a public
+// contract (dashboards scrape them); the golden test pins the format.
+func writeMetrics(w http.ResponseWriter, s Status) {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	progress := 0.0
+	if s.TotalPeriods > 0 {
+		progress = float64(s.Periods) / float64(s.TotalPeriods)
+	}
+
+	fmt.Fprintf(w, "# TYPE syndog_periods_total counter\nsyndog_periods_total %d\n", s.Periods)
+	fmt.Fprintf(w, "# TYPE syndog_kbar gauge\nsyndog_kbar %g\n", s.KBar)
+	fmt.Fprintf(w, "# TYPE syndog_statistic gauge\nsyndog_statistic %g\n", s.Statistic)
+	fmt.Fprintf(w, "# TYPE syndog_alarmed gauge\nsyndog_alarmed %d\n", b2i(s.Alarmed))
+
+	// Replay progress and volume.
+	fmt.Fprintf(w, "# TYPE syndog_replay_progress gauge\nsyndog_replay_progress %g\n", progress)
+	fmt.Fprintf(w, "# TYPE syndog_replay_done gauge\nsyndog_replay_done %d\n", b2i(s.ReplayDone))
+	fmt.Fprintf(w, "# TYPE syndog_replay_failed gauge\nsyndog_replay_failed %d\n", b2i(s.ReplayError != ""))
+	fmt.Fprintf(w, "# TYPE syndog_records_processed_total counter\nsyndog_records_processed_total %d\n", s.RecordsProcessed)
+	fmt.Fprintf(w, "# TYPE syndog_records_skipped_total counter\nsyndog_records_skipped_total %d\n", s.RecordsSkipped)
+	fmt.Fprintf(w, "# TYPE syndog_resume_offset_periods gauge\nsyndog_resume_offset_periods %d\n", s.ResumeOffset)
+
+	// Last completed period's raw counts: the pair whose difference
+	// drives the detector.
+	fmt.Fprintf(w, "# TYPE syndog_last_period_out_syn gauge\nsyndog_last_period_out_syn %d\n", s.LastOutSYN)
+	fmt.Fprintf(w, "# TYPE syndog_last_period_in_synack gauge\nsyndog_last_period_in_synack %d\n", s.LastInSYNACK)
+
+	// Durability: how stale the on-disk snapshot is. Age is only
+	// meaningful once a checkpoint has been written.
+	fmt.Fprintf(w, "# TYPE syndog_checkpoints_total counter\nsyndog_checkpoints_total %d\n", s.Checkpoints)
+	if s.Checkpoints > 0 {
+		fmt.Fprintf(w, "# TYPE syndog_checkpoint_age_seconds gauge\nsyndog_checkpoint_age_seconds %g\n", s.CheckpointAge.Seconds())
+	}
+}

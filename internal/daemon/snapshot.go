@@ -1,0 +1,115 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrConfigMismatch reports a snapshot whose parameters disagree with
+// the requested configuration. Resuming such a snapshot would silently
+// run parameters nobody asked for — or, worse, graft a K̄/CUSUM state
+// onto a detector with different semantics — so it is a hard startup
+// error.
+var ErrConfigMismatch = errors.New("daemon: snapshot config disagrees with requested config")
+
+// LoadOrNewAgent resumes an agent from statePath when the file exists,
+// otherwise builds a fresh agent from cfg. It returns whether the
+// agent was resumed.
+//
+// Unlike a permissive loader, every failure is surfaced: an unreadable
+// state file, a corrupt snapshot, and a snapshot whose effective
+// Config differs from cfg (after defaulting) are all errors — the
+// operator must either fix the flags or move the snapshot aside, not
+// have one silently win over the other.
+func LoadOrNewAgent(statePath string, cfg core.Config) (agent *core.Agent, resumed bool, err error) {
+	if statePath == "" {
+		a, err := core.NewAgent(cfg)
+		return a, false, err
+	}
+	f, err := os.Open(statePath)
+	if errors.Is(err, fs.ErrNotExist) {
+		a, err := core.NewAgent(cfg)
+		return a, false, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	a, err := core.ReadSnapshot(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("resume from %s: %w", statePath, err)
+	}
+	if got, want := a.Config(), cfg.Normalized(); got != want {
+		return nil, false, fmt.Errorf("%w: %s holds %+v, flags request %+v",
+			ErrConfigMismatch, statePath, got, want)
+	}
+	return a, true, nil
+}
+
+// WriteSnapshotFile persists a snapshot durably: it writes to a
+// temporary file in the destination directory, fsyncs it, renames it
+// over path, and fsyncs the directory so the rename itself survives a
+// crash. A reader never observes a partially-written snapshot.
+func WriteSnapshotFile(snap core.Snapshot, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	if err := snap.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Make the rename durable. Some filesystems do not support fsync
+	// on directories; that is not worth failing the checkpoint over.
+	if df, err := os.Open(dir); err == nil {
+		_ = df.Sync()
+		df.Close()
+	}
+	return nil
+}
+
+// SaveState writes the agent's current snapshot to path (typically
+// Options.StatePath). The snapshot is captured under the daemon lock
+// and persisted outside it, so a slow disk never stalls replay.
+func (d *Daemon) SaveState(path string) error {
+	d.mu.Lock()
+	snap := d.agent.Snapshot()
+	d.mu.Unlock()
+	return WriteSnapshotFile(snap, path)
+}
+
+// Checkpoint persists the agent to Options.StatePath and records the
+// checkpoint time for the /metrics checkpoint-age gauge. It is a
+// no-op when no state path is configured.
+func (d *Daemon) Checkpoint() error {
+	if d.opts.StatePath == "" {
+		return nil
+	}
+	if err := d.SaveState(d.opts.StatePath); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.checkpoints++
+	d.lastCheckpoint = time.Now()
+	d.mu.Unlock()
+	return nil
+}

@@ -55,6 +55,23 @@ func Load(path string, stubPrefix netip.Prefix) (*Trace, error) {
 	}
 }
 
+// LoadValidated loads a trace and enforces its invariants (sorted
+// timestamps within [0, Span)) once at the door, so downstream
+// consumers — instant and paced replay alike — can assume a
+// well-formed trace instead of each deciding whether to re-check.
+// An unsorted trace mis-buckets observation periods silently, which is
+// exactly the class of divergence a long-running daemon cannot afford.
+func LoadValidated(path string, stubPrefix netip.Prefix) (*Trace, error) {
+	tr, err := Load(path, stubPrefix)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return tr, nil
+}
+
 // Save writes a trace file, picking the codec from the extension (same
 // rules as Load; pcap and tcpdump-text direction metadata is implicit
 // in addresses, so all formats are writable except tcpdump text, which
