@@ -29,7 +29,16 @@ record:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
+# Root benchmark suite, 6 samples per benchmark, distilled into the
+# committed BENCH_pr3.json baseline (median ns/op, B/op, allocs/op per
+# benchmark) so perf changes diff against a recorded trajectory.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr3.raw
+	$(GO) run ./cmd/benchjson -o BENCH_pr3.json < BENCH_pr3.raw
+	rm -f BENCH_pr3.raw
+
+# Benchmarks across every package, one sample each (no JSON).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 examples:

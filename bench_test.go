@@ -11,6 +11,7 @@ package repro
 
 import (
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -107,6 +108,135 @@ func BenchmarkFig8AucklandSensitivity(b *testing.B) { runArtifact(b, "fig8") }
 // BenchmarkFig9TunedSensitivity regenerates Figure 9 (site-tuned
 // a=0.2/N=0.6 detecting a 15 SYN/s flood the defaults cannot).
 func BenchmarkFig9TunedSensitivity(b *testing.B) { runArtifact(b, "fig9") }
+
+// --- counts fast path vs record-level replay ---------------------------
+
+// sweepBenchConfig is a Table 2-shaped sweep (12 Monte-Carlo cells on
+// a 15-minute UNC background) used to compare the two execution paths;
+// both produce byte-identical Performance rows. The background is
+// preset so the measured work is the sweep itself — aggregation plus
+// the per-cell loop — not trace synthesis, which both paths share
+// unchanged.
+func sweepBenchConfig(recordLevel bool) experiment.SweepConfig {
+	bg, _ := cellBenchInputs()
+	p := trace.UNC()
+	p.Span = bg.Span
+	return experiment.SweepConfig{
+		Profile:       p,
+		Background:    bg,
+		Agent:         core.Config{},
+		Rates:         []float64{45, 60, 80},
+		Runs:          4,
+		OnsetMin:      2 * time.Minute,
+		OnsetMax:      4 * time.Minute,
+		FloodDuration: 8 * time.Minute,
+		Seed:          1,
+		Parallelism:   1,
+		RecordLevel:   recordLevel,
+	}
+}
+
+func benchmarkSweep(b *testing.B, recordLevel bool) {
+	cfg := sweepBenchConfig(recordLevel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perfs, err := experiment.Sweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(perfs) != len(cfg.Rates) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkSweepFastPath runs the sweep on the default counts path:
+// the background is aggregated once, each cell bins the flood arrivals
+// and feeds per-period counts straight to the detector.
+func BenchmarkSweepFastPath(b *testing.B) { benchmarkSweep(b, false) }
+
+// BenchmarkSweepRecordLevel runs the identical sweep through the
+// record-level pipeline: per cell, materialize the flood as records,
+// merge into the background and replay packet by packet.
+func BenchmarkSweepRecordLevel(b *testing.B) { benchmarkSweep(b, true) }
+
+// cellBench* hold the shared sweep inputs for the per-cell benchmarks,
+// built once per test binary so -count=N reruns and the record/fast
+// pair measure the same background.
+var (
+	cellBenchOnce   sync.Once
+	cellBenchBG     *trace.Trace
+	cellBenchCounts *trace.PeriodCounts
+)
+
+func cellBenchInputs() (*trace.Trace, *trace.PeriodCounts) {
+	cellBenchOnce.Do(func() {
+		p := trace.UNC()
+		p.Span = 15 * time.Minute
+		bg, err := trace.Generate(p, 1)
+		if err != nil {
+			panic(err)
+		}
+		counts, err := bg.Aggregate(core.DefaultObservationPeriod)
+		if err != nil {
+			panic(err)
+		}
+		cellBenchBG, cellBenchCounts = bg, counts
+	})
+	return cellBenchBG, cellBenchCounts
+}
+
+var cellBenchCfg = experiment.RunConfig{
+	Agent:         core.Config{},
+	Rate:          60,
+	Onset:         3 * time.Minute,
+	FloodDuration: 8 * time.Minute,
+	Seed:          7,
+}
+
+// BenchmarkRunCellFastPath measures one Monte-Carlo cell exactly as
+// Sweep's per-cell loop runs it: a pooled Runner over the shared
+// background counts — restart the agent, bin the flood into the
+// scratch overlay, replay the counts.
+func BenchmarkRunCellFastPath(b *testing.B) {
+	_, counts := cellBenchInputs()
+	r, err := experiment.NewRunner(core.Config{}, counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(cellBenchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AlarmPeriod < 0 {
+			b.Fatal("flood not detected")
+		}
+	}
+}
+
+// BenchmarkRunCellRecordLevel measures the same cell on the record
+// path: flood record generation + merge + full replay of every packet.
+func BenchmarkRunCellRecordLevel(b *testing.B) {
+	bg, _ := cellBenchInputs()
+	cfg := cellBenchCfg
+	cfg.Background = bg
+	cfg.RecordLevel = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AlarmPeriod < 0 {
+			b.Fatal("flood not detected")
+		}
+	}
+}
 
 // --- hot-path micro-benchmarks -----------------------------------------
 

@@ -1,0 +1,132 @@
+// Command benchjson distills `go test -bench` output into a JSON
+// baseline: one entry per benchmark mapping its name to the median
+// ns/op, B/op and allocs/op across however many -count samples the run
+// produced. The repository commits the result (BENCH_pr3.json, via
+// `make bench`) so performance changes diff against a recorded
+// trajectory instead of a rerun.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count=6 . | benchjson -o BENCH_pr3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stats is the distilled result for one benchmark.
+type Stats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// benchLine matches one result line of -benchmem output, e.g.
+//
+//	BenchmarkSweepFastPath-8   2   7266558 ns/op   71412 B/op   54 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+
+type samples struct {
+	ns, bytes, allocs []float64
+}
+
+// parse collects per-benchmark samples from a benchmark output stream.
+// Lines that are not -benchmem result lines (headers, PASS, package
+// summaries, benchmarks run without -benchmem) are ignored.
+func parse(r io.Reader) (map[string]*samples, error) {
+	out := make(map[string]*samples)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		vals := make([]float64, 3)
+		for i, s := range m[2:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q: %v", s, sc.Text(), err)
+			}
+			vals[i] = v
+		}
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, vals[0])
+		s.bytes = append(s.bytes, vals[1])
+		s.allocs = append(s.allocs, vals[2])
+	}
+	return out, sc.Err()
+}
+
+// median is robust to the odd outlier sample a shared machine
+// produces; with an even count it averages the middle pair.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func distill(raw map[string]*samples) map[string]Stats {
+	out := make(map[string]Stats, len(raw))
+	for name, s := range raw {
+		out[name] = Stats{
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+			Samples:     len(s.ns),
+		}
+	}
+	return out
+}
+
+func run(in io.Reader, out io.Writer) error {
+	raw, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines in input (need -benchmem output)")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(distill(raw))
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(os.Stdin, out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepFastPath      	       2	   7266558 ns/op	   71412 B/op	      54 allocs/op
+BenchmarkSweepFastPath      	       2	   7000000 ns/op	   71000 B/op	      54 allocs/op
+BenchmarkSweepFastPath      	       2	   9999999 ns/op	   80000 B/op	      55 allocs/op
+BenchmarkRunCellFastPath-8  	   13062	     90839 ns/op	    1568 B/op	       2 allocs/op
+BenchmarkNoMem              	     100	     12345 ns/op
+PASS
+ok  	repro	1.747s
+`
+
+func TestParseAndDistill(t *testing.T) {
+	raw, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := distill(raw)
+	fast, ok := stats["BenchmarkSweepFastPath"]
+	if !ok {
+		t.Fatalf("BenchmarkSweepFastPath missing from %v", stats)
+	}
+	if fast.Samples != 3 || fast.NsPerOp != 7266558 || fast.AllocsPerOp != 54 {
+		t.Errorf("median of 3 samples wrong: %+v", fast)
+	}
+	// The -8 GOMAXPROCS suffix is stripped, so reruns on different
+	// machines aggregate under one name.
+	cell, ok := stats["BenchmarkRunCellFastPath"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %v", stats)
+	}
+	if cell.Samples != 1 || cell.BytesPerOp != 1568 {
+		t.Errorf("cell stats wrong: %+v", cell)
+	}
+	// Lines without -benchmem columns are skipped, not misparsed.
+	if _, ok := stats["BenchmarkNoMem"]; ok {
+		t.Error("benchmark without allocation columns should be ignored")
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := median([]float64{1, 2, 3, 100}); m != 2.5 {
+		t.Errorf("median = %v, want 2.5", m)
+	}
+}
+
+func TestRunEmitsSortedJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]Stats
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Errorf("got %d entries, want 2: %v", len(decoded), decoded)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader("PASS\n"), &buf); err == nil {
+		t.Error("empty benchmark stream accepted")
+	}
+}

@@ -23,6 +23,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"time"
 
 	"repro/internal/cusum"
@@ -96,6 +98,17 @@ func (s *Sniffer) Drain() PeriodCounts {
 
 // TotalSeen returns the lifetime packet count.
 func (s *Sniffer) TotalSeen() uint64 { return s.totalSeen }
+
+// Load replaces the sniffer's current-period counters with aggregated
+// counts, as if it had observed that many packets this period. It is
+// the counts-level twin of calling Count once per packet: any counts
+// from individual Observe calls inside the current partial period are
+// discarded, because aggregated inputs are authoritative for the whole
+// period.
+func (s *Sniffer) Load(pc PeriodCounts) {
+	s.totalSeen += pc.SYN + pc.SYNACK + pc.FIN + pc.RST
+	s.syn, s.synAck, s.fin, s.rst = pc.SYN, pc.SYNACK, pc.FIN, pc.RST
+}
 
 // Config parameterizes an Agent. Zero fields take defaults.
 type Config struct {
@@ -336,6 +349,24 @@ func (a *Agent) Reset() {
 	a.alarm = nil
 }
 
+// Restart returns the agent to its freshly constructed state: sniffer
+// counters, K̄, detector and alarm all cleared, accumulated reports
+// dropped (only the report buffer's capacity survives). A restarted
+// agent behaves identically to one just built by NewAgent with the
+// same configuration, so Monte-Carlo sweeps run one agent across many
+// cells instead of allocating per cell. Unlike Reset, which models an
+// operator acknowledging an alarm mid-run, Restart abandons the run
+// entirely.
+func (a *Agent) Restart() {
+	*a.outbound = Sniffer{dir: netsim.Outbound}
+	*a.inbound = Sniffer{dir: netsim.Inbound}
+	// Restoring the zero state cannot fail validation.
+	_ = a.kBar.Restore(0, false)
+	_ = a.det.Restore(0, false, 0, 0)
+	a.reports = a.reports[:0]
+	a.alarm = nil
+}
+
 // Design exposes the agent's parameters as a cusum.Design for the
 // closed-form predictions (fmin, detection-time bound).
 func (a *Agent) Design() cusum.Design {
@@ -394,6 +425,64 @@ func (a *Agent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
 		done++
 	}
 	return a.reports, nil
+}
+
+// ProcessCounts drives the agent directly from per-period counts: for
+// each complete period it loads the sniffers with that period's
+// outgoing-SYN and incoming-SYN/ACK totals and closes the period. It
+// is the counts-level twin of ProcessTrace — for any trace tr,
+// ProcessCounts(tr.Aggregate(t0)) produces bit-identical reports to
+// ProcessTrace(tr), because EndPeriod consumes only the two totals and
+// both paths feed it the same numbers. Detection is non-parametric
+// (Eq. 1-4 see only per-period counts), so experiments that never need
+// individual records use this path at O(periods) instead of
+// O(records).
+//
+// Like ProcessTrace it is resume-aware: an agent restored from a
+// snapshot already holds len(Reports()) completed periods, and replay
+// skips that many leading periods of the counts.
+func (a *Agent) ProcessCounts(pc *trace.PeriodCounts) ([]Report, error) {
+	if pc == nil || pc.Periods() == 0 {
+		return nil, errors.New("core: no complete periods in counts")
+	}
+	if pc.T0 != a.cfg.T0 {
+		return nil, fmt.Errorf("core: counts period %v does not match agent period %v", pc.T0, a.cfg.T0)
+	}
+	if len(pc.InSYNACK) != len(pc.OutSYN) {
+		return nil, fmt.Errorf("core: period counts misaligned (%d SYN vs %d SYN/ACK periods)",
+			len(pc.OutSYN), len(pc.InSYNACK))
+	}
+	periods := pc.Periods()
+	done := len(a.reports) // resume offset: periods already reported
+	if done >= periods {
+		return a.reports, nil
+	}
+	a.reports = slices.Grow(a.reports, periods-done)
+	for ; done < periods; done++ {
+		out, err := countAsUint(pc.OutSYN[done])
+		if err != nil {
+			return nil, fmt.Errorf("core: OutSYN[%d]: %w", done, err)
+		}
+		in, err := countAsUint(pc.InSYNACK[done])
+		if err != nil {
+			return nil, fmt.Errorf("core: InSYNACK[%d]: %w", done, err)
+		}
+		a.outbound.Load(PeriodCounts{SYN: out})
+		a.inbound.Load(PeriodCounts{SYNACK: in})
+		a.EndPeriod(a.cfg.T0 * time.Duration(done+1))
+	}
+	return a.reports, nil
+}
+
+// countAsUint converts an aggregated packet count to the sniffer's
+// integer domain. Aggregated counts are tallies, so anything negative,
+// fractional, non-finite, or beyond float64's exact-integer range is a
+// corrupted input, not a count.
+func countAsUint(v float64) (uint64, error) {
+	if !(v >= 0) || v != math.Trunc(v) || v > 1<<53 {
+		return 0, fmt.Errorf("invalid period count %v", v)
+	}
+	return uint64(v), nil
 }
 
 func toNetsimDir(d trace.Direction) netsim.Direction {

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// TestProcessCountsMatchesProcessTrace pins the fast path's core
+// contract on every site profile: aggregating a trace and replaying
+// the counts produces exactly the reports a record-level replay does.
+func TestProcessCountsMatchesProcessTrace(t *testing.T) {
+	for _, p := range trace.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			p.Span = 10 * time.Minute
+			tr, err := trace.Generate(p, 29)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, _ := NewAgent(Config{})
+			want, err := ref.ProcessTrace(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, err := tr.Aggregate(ref.Config().T0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, _ := NewAgent(Config{})
+			got, err := fast.ProcessCounts(pc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d reports, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			if fast.KBar() != ref.KBar() || fast.Alarmed() != ref.Alarmed() {
+				t.Errorf("final state (K=%v alarmed=%v), want (K=%v alarmed=%v)",
+					fast.KBar(), fast.Alarmed(), ref.KBar(), ref.Alarmed())
+			}
+		})
+	}
+}
+
+// TestLastMileProcessCountsMatchesProcessTrace does the same for the
+// victim-side pairing: AggregateLastMile + ProcessCounts equals a
+// record-level ProcessTrace replay.
+func TestLastMileProcessCountsMatchesProcessTrace(t *testing.T) {
+	p := trace.Auckland()
+	p.Span = 10 * time.Minute
+	bg, err := trace.Generate(p, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := bg.Flip()
+
+	ref, err := NewLastMileAgent(Config{WarmupPeriods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ProcessTrace(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := victim.AggregateLastMile(DefaultObservationPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewLastMileAgent(Config{WarmupPeriods: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fast.ProcessCounts(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d reports, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// truncateCounts returns the first k periods of pc, sharing storage
+// (ProcessCounts never mutates its input).
+func truncateCounts(pc *trace.PeriodCounts, k int) *trace.PeriodCounts {
+	return &trace.PeriodCounts{T0: pc.T0, OutSYN: pc.OutSYN[:k], InSYNACK: pc.InSYNACK[:k]}
+}
+
+// TestProcessCountsResumeEquivalence is the property test behind the
+// daemon's resume story on the fast path: snapshot after a random
+// number of periods, restore, finish from the full counts — the final
+// serialized snapshot must be byte-identical to an uninterrupted run's.
+func TestProcessCountsResumeEquivalence(t *testing.T) {
+	p := trace.UNC()
+	p.Span = 10 * time.Minute
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		tr, err := trace.Generate(p, int64(100+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := tr.Aggregate(DefaultObservationPeriod)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ref, _ := NewAgent(Config{})
+		if _, err := ref.ProcessCounts(pc); err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := ref.WriteSnapshot(&want); err != nil {
+			t.Fatal(err)
+		}
+
+		k := rng.Intn(pc.Periods() + 1)
+		a1, _ := NewAgent(Config{})
+		if k > 0 {
+			if _, err := a1.ProcessCounts(truncateCounts(pc, k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a2, err := RestoreAgent(a1.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a2.ProcessCounts(pc); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := a2.WriteSnapshot(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("trial %d (k=%d): resumed snapshot differs from uninterrupted run:\n%s\nvs\n%s",
+				trial, k, got.String(), want.String())
+		}
+	}
+}
+
+// TestProcessCountsMixedResume crosses the two paths mid-stream: half
+// the trace record by record, snapshot, then the rest from counts.
+func TestProcessCountsMixedResume(t *testing.T) {
+	p := trace.Auckland()
+	p.Span = 8 * time.Minute
+	tr, err := trace.Generate(p, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := tr.Aggregate(DefaultObservationPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewAgent(Config{})
+	want, err := ref.ProcessCounts(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := time.Duration(pc.Periods()/2) * DefaultObservationPeriod
+	a1, _ := NewAgent(Config{})
+	if _, err := a1.ProcessTrace(truncateTrace(tr, half)); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := RestoreAgent(a1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a2.ProcessCounts(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d reports, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProcessCountsFullHistoryIsNoop(t *testing.T) {
+	p := trace.Auckland()
+	p.Span = 4 * time.Minute
+	tr, err := trace.Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := tr.Aggregate(DefaultObservationPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewAgent(Config{})
+	first, err := a.ProcessCounts(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(first)
+	again, err := a.ProcessCounts(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != n {
+		t.Errorf("second replay grew reports %d -> %d (double count)", n, len(again))
+	}
+}
+
+func TestProcessCountsValidation(t *testing.T) {
+	a, _ := NewAgent(Config{})
+	if _, err := a.ProcessCounts(nil); err == nil {
+		t.Error("nil counts accepted")
+	}
+	if _, err := a.ProcessCounts(&trace.PeriodCounts{T0: DefaultObservationPeriod}); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := a.ProcessCounts(&trace.PeriodCounts{
+		T0: time.Second, OutSYN: []float64{1}, InSYNACK: []float64{1},
+	}); err == nil {
+		t.Error("mismatched T0 accepted")
+	}
+	if _, err := a.ProcessCounts(&trace.PeriodCounts{
+		T0: DefaultObservationPeriod, OutSYN: []float64{1, 2}, InSYNACK: []float64{1},
+	}); err == nil {
+		t.Error("misaligned slices accepted")
+	}
+	for _, bad := range []float64{-1, 0.5, 1 << 60} {
+		if _, err := a.ProcessCounts(&trace.PeriodCounts{
+			T0: DefaultObservationPeriod, OutSYN: []float64{bad}, InSYNACK: []float64{0},
+		}); err == nil {
+			t.Errorf("non-count OutSYN %v accepted", bad)
+		}
+	}
+	if len(a.Reports()) != 0 {
+		t.Errorf("rejected inputs still appended %d reports", len(a.Reports()))
+	}
+}
+
+// TestRestartMatchesFresh pins the sweep-pooling contract: an agent
+// Restarted after a full (alarming) run is indistinguishable from a
+// freshly constructed one — reports, final state and serialized
+// snapshot alike.
+func TestRestartMatchesFresh(t *testing.T) {
+	for _, cfg := range []Config{{}, {WarmupPeriods: 3, Alpha: 0.8}} {
+		p := trace.UNC()
+		p.Span = 8 * time.Minute
+		first, err := trace.Generate(p, 61)
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstPC, err := first.Aggregate(DefaultObservationPeriod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Push the first run into an alarm, so Restart has a latched
+		// detector, a primed EWMA and a recorded alarm to clear.
+		for i := range firstPC.OutSYN {
+			if i >= firstPC.Periods()/2 {
+				firstPC.OutSYN[i] += 5000
+			}
+		}
+		second, err := trace.Generate(p, 62)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secondPC, err := second.Aggregate(DefaultObservationPeriod)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reused, _ := NewAgent(cfg)
+		if _, err := reused.ProcessCounts(firstPC); err != nil {
+			t.Fatal(err)
+		}
+		if !reused.Alarmed() {
+			t.Fatal("first run did not alarm; Restart not exercised")
+		}
+		reused.Restart()
+		got, err := reused.ProcessCounts(secondPC)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fresh, _ := NewAgent(cfg)
+		want, err := fresh.ProcessCounts(secondPC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d reports, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("report %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		var gotSnap, wantSnap bytes.Buffer
+		if err := reused.WriteSnapshot(&gotSnap); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.WriteSnapshot(&wantSnap); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotSnap.Bytes(), wantSnap.Bytes()) {
+			t.Errorf("restarted snapshot differs from fresh:\n%s\nvs\n%s", gotSnap.String(), wantSnap.String())
+		}
+	}
+}
+
+// FuzzProcessCountsMatchesProcessTrace hammers the equivalence with
+// arbitrary record streams: whatever trace the fuzzer builds, the
+// aggregate-then-count path must replay it identically to the
+// record-level path, including records landing exactly on period
+// boundaries.
+func FuzzProcessCountsMatchesProcessTrace(f *testing.F) {
+	f.Add(uint8(3), []byte{0x00, 0x21, 0x9f, 0x44, 0xe2})
+	f.Add(uint8(1), []byte{0xff, 0xff})
+	f.Add(uint8(12), []byte{0x10, 0x30, 0x50, 0x70, 0x90, 0xb0, 0xd0, 0xf0})
+	f.Fuzz(func(t *testing.T, nPeriods uint8, data []byte) {
+		t0 := time.Second
+		span := time.Duration(int(nPeriods%20)+1) * t0
+		kinds := [4]packet.Kind{packet.KindSYN, packet.KindSYNACK, packet.KindFIN, packet.KindOther}
+		var recs []trace.Record
+		ts := time.Duration(0)
+		for _, b := range data {
+			// Steps are multiples of t0/16, so timestamps regularly land
+			// exactly on period boundaries — the sharpest corner of the
+			// binning semantics.
+			ts += time.Duration(b&0x1f) * (t0 / 16)
+			if ts >= span {
+				break
+			}
+			dir := trace.DirOut
+			if b&0x80 != 0 {
+				dir = trace.DirIn
+			}
+			recs = append(recs, trace.Record{Ts: ts, Kind: kinds[(b>>5)&3], Dir: dir})
+		}
+		tr := &trace.Trace{Name: "fuzz", Span: span, Records: recs}
+
+		ref, _ := NewAgent(Config{T0: t0})
+		want, err := ref.ProcessTrace(tr)
+		if err != nil {
+			t.Fatalf("ProcessTrace: %v", err)
+		}
+		pc, err := tr.Aggregate(t0)
+		if err != nil {
+			t.Fatalf("Aggregate: %v", err)
+		}
+		fast, _ := NewAgent(Config{T0: t0})
+		got, err := fast.ProcessCounts(pc)
+		if err != nil {
+			t.Fatalf("ProcessCounts: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d reports, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("report %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		if fast.KBar() != ref.KBar() || fast.Alarmed() != ref.Alarmed() {
+			t.Fatalf("final state diverged: (K=%v alarmed=%v) vs (K=%v alarmed=%v)",
+				fast.KBar(), fast.Alarmed(), ref.KBar(), ref.Alarmed())
+		}
+	})
+}

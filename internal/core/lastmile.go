@@ -115,6 +115,16 @@ func (l *LastMileAgent) ProcessTrace(tr *trace.Trace) ([]Report, error) {
 	return l.agent.reports, nil
 }
 
+// ProcessCounts drives the agent from victim-side per-period counts as
+// produced by trace.AggregateLastMile: OutSYN holds the period's
+// connection openings (incoming SYNs) and InSYNACK its closings
+// (outgoing FINs/RSTs). The mapping matches Observe, so this is the
+// counts-level twin of ProcessTrace, bit-identical and resume-aware
+// like Agent.ProcessCounts.
+func (l *LastMileAgent) ProcessCounts(pc *trace.PeriodCounts) ([]Report, error) {
+	return l.agent.ProcessCounts(pc)
+}
+
 // Alarmed reports whether the alarm has been raised.
 func (l *LastMileAgent) Alarmed() bool { return l.agent.Alarmed() }
 

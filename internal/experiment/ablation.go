@@ -267,7 +267,29 @@ func AblationH2A(opts Options) ([]Artifact, error) {
 		Title:   "Threshold scaling around the h=2a rule (a=0.35), 5 SYN/s flood",
 		Columns: []string{"N", "designed delay (t0)", "Detection Prob.", "Mean Detection Time (t0)", "False alarms", "max benign yn"},
 	}
+	// One background per run, generated through the singleflight cache
+	// and aggregated to per-period counts exactly once; the counts then
+	// back the flood-free pass and the flooded pass of all four
+	// threshold scales without touching the records again.
 	bgCache := trace.NewCache()
+	type h2aBG struct {
+		bg     *trace.Trace
+		counts *trace.PeriodCounts
+	}
+	bgs, err := collect(opts.Parallelism, opts.Runs, func(run int) (h2aBG, error) {
+		bg, err := bgCache.Generate(p, opts.Seed+int64(run)*23)
+		if err != nil {
+			return h2aBG{}, err
+		}
+		counts, err := bg.Aggregate(core.DefaultObservationPeriod)
+		if err != nil {
+			return h2aBG{}, err
+		}
+		return h2aBG{bg: bg, counts: counts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, scale := range []float64{0.5, 1, 2, 4} {
 		n := 1.05 * scale
 		type h2aOutcome struct {
@@ -279,18 +301,13 @@ func AblationH2A(opts Options) ([]Artifact, error) {
 		outs, err := collect(opts.Parallelism, opts.Runs, func(run int) (h2aOutcome, error) {
 			seed := opts.Seed + int64(run)*23
 
-			// Flood-free pass for the false-alarm margin. The cache
-			// shares one generated background per seed across both
-			// passes and all four threshold scales.
-			bg, err := bgCache.Generate(p, seed)
-			if err != nil {
-				return h2aOutcome{}, err
-			}
+			// Flood-free pass for the false-alarm margin, driven from
+			// the shared per-period counts.
 			quiet, err := core.NewAgent(core.Config{Threshold: n})
 			if err != nil {
 				return h2aOutcome{}, err
 			}
-			if _, err := quiet.ProcessTrace(bg); err != nil {
+			if _, err := quiet.ProcessCounts(bgs[run].counts); err != nil {
 				return h2aOutcome{}, err
 			}
 			o := h2aOutcome{quietAlarm: quiet.Alarmed()}
@@ -298,15 +315,16 @@ func AblationH2A(opts Options) ([]Artifact, error) {
 				o.maxBenign = math.Max(o.maxBenign, y)
 			}
 
-			// Flooded pass over the same background.
+			// Flooded pass over the same background counts.
 			res, err := Run(RunConfig{
-				Profile:       p,
-				Background:    bg,
-				Agent:         core.Config{Threshold: n},
-				Rate:          5,
-				Onset:         15 * time.Minute,
-				FloodDuration: 10 * time.Minute,
-				Seed:          seed,
+				Profile:          p,
+				Background:       bgs[run].bg,
+				BackgroundCounts: bgs[run].counts,
+				Agent:            core.Config{Threshold: n},
+				Rate:             5,
+				Onset:            15 * time.Minute,
+				FloodDuration:    10 * time.Minute,
+				Seed:             seed,
 			})
 			if err != nil {
 				return h2aOutcome{}, err
@@ -374,26 +392,22 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		return []detect.Detector{cus, static, ratio, ada}, nil
 	}
 
-	// Build per-period observation series from one background: the
-	// flood-free pass reuses the flooded pass's generated trace.
-	series := func(bg *trace.Trace, seed int64, rate float64) ([]detect.Observation, int, error) {
-		mixed := bg
+	// Build per-period observation series from one aggregated
+	// background: the flood-free pass shares the flooded pass's counts,
+	// and the flood rides in as an AddFlood overlay instead of a
+	// record-level merge.
+	series := func(pc *trace.PeriodCounts, seed int64, rate float64) ([]detect.Observation, int, error) {
 		onset := 15 * time.Minute
 		if rate > 0 {
-			fl, err := flood.GenerateTrace(flood.Config{
+			floodSYN, err := flood.CountPerPeriod(flood.Config{
 				Start: onset, Duration: 10 * time.Minute,
 				Pattern: flood.Constant{PerSecond: rate},
 				Victim:  victimAddr, VictimPort: 80, Seed: seed + 3,
-			})
+			}, pc.T0, pc.Periods())
 			if err != nil {
 				return nil, 0, err
 			}
-			mixed = trace.Merge("x", bg, fl)
-			mixed.Span = bg.Span
-		}
-		pc, err := mixed.Aggregate(t0)
-		if err != nil {
-			return nil, 0, err
+			pc = pc.AddFlood(floodSYN)
 		}
 		obs := make([]detect.Observation, pc.Periods())
 		for i := range obs {
@@ -419,11 +433,15 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		if err != nil {
 			return nil, err
 		}
-		flooded, onsetPeriod, err := series(bg, seed, 3)
+		pc, err := bg.Aggregate(t0)
 		if err != nil {
 			return nil, err
 		}
-		quiet, _, err := series(bg, seed, 0)
+		flooded, onsetPeriod, err := series(pc, seed, 3)
+		if err != nil {
+			return nil, err
+		}
+		quiet, _, err := series(pc, seed, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -702,7 +720,7 @@ func AblationLastMile(opts Options) ([]Artifact, error) {
 		lmOuts, err := mcRuns(opts, func(run int) (mcOutcome, error) {
 			seed := opts.Seed + int64(run)*37
 			onset := 15 * time.Minute
-			victimTrace, onsetPeriod, err := victimView(stubProfile, totalRate, onset, seed)
+			victimCounts, onsetPeriod, err := victimView(stubProfile, totalRate, onset, seed)
 			if err != nil {
 				return mcOutcome{}, err
 			}
@@ -710,7 +728,7 @@ func AblationLastMile(opts Options) ([]Artifact, error) {
 			if err != nil {
 				return mcOutcome{}, err
 			}
-			if _, err := agent.ProcessTrace(victimTrace); err != nil {
+			if _, err := agent.ProcessCounts(victimCounts); err != nil {
 				return mcOutcome{}, err
 			}
 			var o mcOutcome
@@ -745,32 +763,38 @@ func AblationLastMile(opts Options) ([]Artifact, error) {
 	return []Artifact{t}, nil
 }
 
-// victimView builds the victim-side trace for the last-mile agent: the
-// stub profile's own traffic reinterpreted as a server farm's balanced
-// open/close load, plus the flipped aggregate flood.
-func victimView(p trace.Profile, totalRate float64, onset time.Duration, seed int64) (*trace.Trace, int, error) {
+// victimView builds the victim-side per-period counts for the
+// last-mile agent: the stub profile's own traffic reinterpreted as a
+// server farm's balanced open/close load (by flipping directions),
+// plus the aggregate flood overlaid as extra openings. Equivalent to
+// merging the flipped traces and replaying them record by record, at
+// the cost of one pass over the background.
+func victimView(p trace.Profile, totalRate float64, onset time.Duration, seed int64) (*trace.PeriodCounts, int, error) {
 	bg, err := trace.Generate(p, seed)
 	if err != nil {
 		return nil, 0, err
 	}
 	// Reinterpret: the profile's outbound connections become inbound
 	// client connections at the victim (SYN in, FIN out) by flipping.
-	victimBG := bg.Flip()
-
-	fl, err := flood.GenerateTrace(flood.Config{
+	counts, err := bg.Flip().AggregateLastMile(core.DefaultObservationPeriod)
+	if err != nil {
+		return nil, 0, err
+	}
+	// The flood's spoofed SYNs arrive at the victim as openings that
+	// never close; CountPerPeriod draws the same arrival times the
+	// flipped flood trace would carry.
+	floodSYN, err := flood.CountPerPeriod(flood.Config{
 		Start:      onset,
 		Duration:   10 * time.Minute,
 		Pattern:    flood.Constant{PerSecond: totalRate},
 		Victim:     victimAddr,
 		VictimPort: 80,
 		Seed:       seed + 11,
-	})
+	}, counts.T0, counts.Periods())
 	if err != nil {
 		return nil, 0, err
 	}
-	mixed := trace.Merge(victimBG.Name+"+aggregate-flood", victimBG, fl.Flip())
-	mixed.Span = victimBG.Span
-	return mixed, int(onset / core.DefaultObservationPeriod), nil
+	return counts.AddFlood(floodSYN), int(onset / core.DefaultObservationPeriod), nil
 }
 
 // AblationDeployment tests the paper's incremental-deployability claim

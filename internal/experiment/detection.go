@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +29,13 @@ type RunConfig struct {
 	// Monte-Carlo repetition. The trace is treated as read-only, so one
 	// instance may back many concurrent runs.
 	Background *trace.Trace
+	// BackgroundCounts, when non-nil, is the pre-aggregated background
+	// for the counts fast path: sweeps aggregate the per-site trace
+	// once and share the read-only counts across every Monte-Carlo
+	// repetition, making each cell O(periods + flood events) instead of
+	// O(records). Ignored when RecordLevel is set. Its T0 must match
+	// the agent's observation period.
+	BackgroundCounts *trace.PeriodCounts
 	// Agent configures the SYN-dog under test.
 	Agent core.Config
 	// Rate is fi, the flood rate seen by this stub's outbound sniffer,
@@ -41,6 +49,14 @@ type RunConfig struct {
 	Pattern flood.Pattern
 	// Seed drives both background and flood randomness.
 	Seed int64
+	// RecordLevel forces the record-level path: materialize the flood
+	// as spoofed-source records, merge it into the background trace and
+	// replay every record through the agent. The default counts fast
+	// path is bit-identical for trace-driven runs (pinned by the
+	// cross-path equivalence suite); record level remains for inputs
+	// that only exist as records (pcap captures, eventsim taps) and for
+	// equivalence testing itself.
+	RecordLevel bool
 }
 
 // RunResult is the outcome of one run.
@@ -66,82 +82,148 @@ type RunResult struct {
 	X []float64
 }
 
-// Run executes one trace-driven flooding experiment.
+// Run executes one trace-driven flooding experiment. By default it
+// takes the counts fast path — aggregate (or reuse pre-aggregated)
+// background period counts, bin the flood arrival process on top, and
+// drive the agent with core.Agent.ProcessCounts — which produces
+// bit-identical results to the record-level merge-and-replay path at a
+// fraction of the cost. Set RecordLevel to force the record path.
 func Run(cfg RunConfig) (RunResult, error) {
+	floodCfg, err := cfg.floodConfig()
+	if err != nil {
+		return RunResult{}, err
+	}
+	agent, err := core.NewAgent(cfg.Agent)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if cfg.RecordLevel {
+		err = runRecordLevel(cfg, agent, floodCfg)
+	} else {
+		err = runCounts(cfg, agent, floodCfg)
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+	return resultFromAgent(agent, cfg, true), nil
+}
+
+// floodConfig validates the flood parameters and translates them into
+// the flood.Config both execution paths feed from — one derivation, so
+// the paths cannot disagree on pattern or seed.
+func (cfg *RunConfig) floodConfig() (flood.Config, error) {
 	if cfg.Rate <= 0 && cfg.Pattern == nil {
-		return RunResult{}, errors.New("experiment: flood rate must be positive")
+		return flood.Config{}, errors.New("experiment: flood rate must be positive")
 	}
 	if cfg.FloodDuration <= 0 {
-		return RunResult{}, errors.New("experiment: flood duration must be positive")
-	}
-	bg := cfg.Background
-	if bg == nil {
-		var err error
-		bg, err = trace.Generate(cfg.Profile, cfg.Seed)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("experiment: background: %w", err)
-		}
+		return flood.Config{}, errors.New("experiment: flood duration must be positive")
 	}
 	pattern := cfg.Pattern
 	if pattern == nil {
 		pattern = flood.Constant{PerSecond: cfg.Rate}
 	}
-	fl, err := flood.GenerateTrace(flood.Config{
+	return flood.Config{
 		Start:      cfg.Onset,
 		Duration:   cfg.FloodDuration,
 		Pattern:    pattern,
 		Victim:     victimAddr,
 		VictimPort: 80,
 		Seed:       cfg.Seed + 7919,
-	})
-	if err != nil {
-		return RunResult{}, fmt.Errorf("experiment: flood: %w", err)
-	}
-	// The mixed trace keeps the background span: the paper's attack
-	// always ends within the trace. If a caller configures a flood
-	// outlasting the background, the surplus is clipped rather than
-	// failing validation.
-	mixed := trace.Merge(bg.Name+"+flood", bg, fl)
-	if mixed.Span > bg.Span {
-		mixed = mixed.Filter(func(r trace.Record) bool { return r.Ts < bg.Span })
-		mixed.Span = bg.Span
-	}
+	}, nil
+}
 
-	agent, err := core.NewAgent(cfg.Agent)
-	if err != nil {
-		return RunResult{}, err
-	}
-	if _, err := agent.ProcessTrace(mixed); err != nil {
-		return RunResult{}, err
-	}
-
+// resultFromAgent reads one finished run off the agent. With series
+// set the full yn and Xn series are copied out; sweeps skip them, as
+// the Monte-Carlo aggregation consumes only the scalar outcome.
+func resultFromAgent(agent *core.Agent, cfg RunConfig, series bool) RunResult {
 	t0 := agent.Config().T0
-	reports := agent.Reports()
-	xs := make([]float64, len(reports))
-	for i, r := range reports {
-		xs[i] = r.X
-	}
 	res := RunResult{
 		AlarmPeriod: -1,
 		OnsetPeriod: int(cfg.Onset / t0),
-		Statistic:   agent.Statistics(),
-		X:           xs,
+	}
+	if series {
+		reports := agent.Reports()
+		xs := make([]float64, len(reports))
+		for i, r := range reports {
+			xs[i] = r.X
+		}
+		res.Statistic = agent.Statistics()
+		res.X = xs
 	}
 	al := agent.FirstAlarm()
 	if al == nil {
-		return res, nil
+		return res
 	}
 	res.AlarmPeriod = al.Period
 	if al.Period < res.OnsetPeriod {
 		res.FalseAlarm = true
-		return res, nil
+		return res
 	}
 	floodEndPeriod := int((cfg.Onset + cfg.FloodDuration) / t0)
 	if al.Period <= floodEndPeriod+1 {
 		res.Detected = true
 		res.DetectionPeriods = al.Period - res.OnsetPeriod
 	}
-	return res, nil
+	return res
+}
+
+// runCounts is the fast path: per-period background counts (aggregated
+// once per sweep, or on demand) plus the binned flood arrival process,
+// fed straight to the detector. No record is materialized, merged, or
+// replayed.
+func runCounts(cfg RunConfig, agent *core.Agent, floodCfg flood.Config) error {
+	counts := cfg.BackgroundCounts
+	if counts == nil {
+		bg := cfg.Background
+		if bg == nil {
+			var err error
+			bg, err = trace.Generate(cfg.Profile, cfg.Seed)
+			if err != nil {
+				return fmt.Errorf("experiment: background: %w", err)
+			}
+		}
+		var err error
+		counts, err = bg.Aggregate(agent.Config().T0)
+		if err != nil {
+			return fmt.Errorf("experiment: background: %w", err)
+		}
+	}
+	floodSYN, err := flood.CountPerPeriod(floodCfg, counts.T0, counts.Periods())
+	if err != nil {
+		return fmt.Errorf("experiment: flood: %w", err)
+	}
+	_, err = agent.ProcessCounts(counts.AddFlood(floodSYN))
+	return err
+}
+
+// runRecordLevel materializes the flood as spoofed-source records,
+// merges them into the background trace and replays every record — the
+// Figure 6 pipeline verbatim. Retained for pcap-driven inputs and as
+// the reference the fast path is pinned against.
+func runRecordLevel(cfg RunConfig, agent *core.Agent, floodCfg flood.Config) error {
+	bg := cfg.Background
+	if bg == nil {
+		var err error
+		bg, err = trace.Generate(cfg.Profile, cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("experiment: background: %w", err)
+		}
+	}
+	fl, err := flood.GenerateTrace(floodCfg)
+	if err != nil {
+		return fmt.Errorf("experiment: flood: %w", err)
+	}
+	// The mixed trace keeps the background span: the paper's attack
+	// always ends within the trace. If a caller configures a flood
+	// outlasting the background, the surplus is clipped rather than
+	// failing validation. Merge output is sorted, so the clip is a
+	// binary-search truncation, not a filtering copy.
+	mixed := trace.Merge(bg.Name+"+flood", bg, fl)
+	if mixed.Span > bg.Span {
+		mixed.ClipSpan(bg.Span)
+	}
+	_, err = agent.ProcessTrace(mixed)
+	return err
 }
 
 // Performance aggregates Monte-Carlo runs at one flood rate.
@@ -162,7 +244,13 @@ type Performance struct {
 // SweepConfig parameterizes a detection-performance sweep (Tables 2-3).
 type SweepConfig struct {
 	Profile trace.Profile
-	Agent   core.Config
+	// Background, when non-nil, is replayed as the per-site background
+	// instead of generating one from Profile — for callers that already
+	// hold the trace (pcap loads, repeated sweeps over one site) and
+	// for benchmarks that amortize generation outside the measured
+	// loop. Treated as read-only.
+	Background *trace.Trace
+	Agent      core.Config
 	// Rates are the fi values to evaluate.
 	Rates []float64
 	// Runs is the Monte-Carlo repetition count per rate.
@@ -179,6 +267,10 @@ type SweepConfig struct {
 	// bit-identical results: every cell derives its own RNG from
 	// (Seed, site, rate, run).
 	Parallelism int
+	// RecordLevel forces every cell through the record-level
+	// merge-and-replay path instead of the counts fast path; see
+	// RunConfig.RecordLevel. Either way the artifacts are identical.
+	RecordLevel bool
 }
 
 func (c *SweepConfig) validate() error {
@@ -196,20 +288,43 @@ func (c *SweepConfig) validate() error {
 
 // Sweep measures detection probability and mean detection time per
 // rate, reproducing the methodology behind Tables 2 and 3. The
-// background trace is generated once and replayed across every cell;
-// the (rate, run) cells fan out over cfg.Parallelism workers, each
+// background trace is generated (or taken from cfg.Background) — and,
+// on the default fast path, aggregated into per-period counts —
+// exactly once, then shared read-only across every cell; cells run on
+// pooled Runners, so each cell costs O(periods + flood events) with
+// no per-cell allocation, rather than O(records log records). The
+// (rate, run) cells fan out over cfg.Parallelism workers, each
 // deriving its own RNG so the result is independent of scheduling.
 func Sweep(cfg SweepConfig) ([]Performance, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	bg, err := trace.Generate(cfg.Profile, seedFor(cfg.Seed, "sweep-background:"+cfg.Profile.Name))
-	if err != nil {
-		return nil, fmt.Errorf("experiment: sweep background: %w", err)
+	bg := cfg.Background
+	if bg == nil {
+		var err error
+		bg, err = trace.Generate(cfg.Profile, seedFor(cfg.Seed, "sweep-background:"+cfg.Profile.Name))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep background: %w", err)
+		}
 	}
+	var counts *trace.PeriodCounts
+	if !cfg.RecordLevel {
+		var err error
+		counts, err = bg.Aggregate(cfg.Agent.Normalized().T0)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep background: %w", err)
+		}
+	}
+	// Fast-path cells run on pooled Runners: each worker grabs one,
+	// restarts its agent and bins the flood into its scratch overlay,
+	// so the per-cell loop never touches the allocator. Which runner
+	// serves which cell cannot matter — a restarted agent is
+	// indistinguishable from a fresh one — so pooling preserves the
+	// bit-identical-at-any-Parallelism guarantee.
+	var runners sync.Pool
 	cells := len(cfg.Rates) * cfg.Runs
 	results := make([]RunResult, cells)
-	err = ForEach(cfg.Parallelism, cells, func(i int) error {
+	err := ForEach(cfg.Parallelism, cells, func(i int) error {
 		rate := cfg.Rates[i/cfg.Runs]
 		run := i % cfg.Runs
 		rng := rand.New(rand.NewSource(seedFor(cfg.Seed, "sweep-cell:"+cfg.Profile.Name,
@@ -218,18 +333,37 @@ func Sweep(cfg SweepConfig) ([]Performance, error) {
 		if cfg.OnsetMax > cfg.OnsetMin {
 			onset += time.Duration(rng.Int63n(int64(cfg.OnsetMax - cfg.OnsetMin)))
 		}
-		res, err := Run(RunConfig{
-			Profile:       cfg.Profile,
-			Background:    bg,
+		cellCfg := RunConfig{
 			Agent:         cfg.Agent,
 			Rate:          rate,
 			Onset:         onset,
 			FloodDuration: cfg.FloodDuration,
 			Seed:          rng.Int63(),
-		})
+		}
+		if cfg.RecordLevel {
+			cellCfg.Profile = cfg.Profile
+			cellCfg.Background = bg
+			cellCfg.RecordLevel = true
+			res, err := Run(cellCfg)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}
+		r, _ := runners.Get().(*Runner)
+		if r == nil {
+			var err error
+			r, err = NewRunner(cfg.Agent, counts)
+			if err != nil {
+				return err
+			}
+		}
+		res, err := r.Run(cellCfg)
 		if err != nil {
 			return err
 		}
+		runners.Put(r)
 		results[i] = res
 		return nil
 	})

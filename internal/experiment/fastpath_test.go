@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flood"
+	"repro/internal/trace"
+)
+
+// equalRunResults compares two RunResults field by field, including
+// the full per-period series.
+func equalRunResults(t *testing.T, got, want RunResult) {
+	t.Helper()
+	if got.Detected != want.Detected || got.DetectionPeriods != want.DetectionPeriods ||
+		got.AlarmPeriod != want.AlarmPeriod || got.OnsetPeriod != want.OnsetPeriod ||
+		got.FalseAlarm != want.FalseAlarm {
+		t.Errorf("scalar results diverge:\ncounts: %+v\nrecord: %+v", got, want)
+	}
+	if len(got.Statistic) != len(want.Statistic) || len(got.X) != len(want.X) {
+		t.Fatalf("series lengths diverge: yn %d vs %d, X %d vs %d",
+			len(got.Statistic), len(want.Statistic), len(got.X), len(want.X))
+	}
+	for i := range got.Statistic {
+		if got.Statistic[i] != want.Statistic[i] {
+			t.Fatalf("yn[%d] = %v (counts) vs %v (record)", i, got.Statistic[i], want.Statistic[i])
+		}
+	}
+	for i := range got.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("X[%d] = %v (counts) vs %v (record)", i, got.X[i], want.X[i])
+		}
+	}
+}
+
+// TestRunCrossPathIdentical is the Run-level equivalence matrix: every
+// site profile, two rates, random onsets and two seeds, the counts
+// fast path against the record-level replay. Floods regularly outlast
+// the 12-minute background, so the span-clip semantics are covered
+// too.
+func TestRunCrossPathIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range trace.Profiles() {
+		p := p
+		p.Span = 12 * time.Minute
+		for _, rate := range []float64{5, 40} {
+			for _, seed := range []int64{3, 11} {
+				onset := 2*time.Minute + time.Duration(rng.Int63n(int64(4*time.Minute)))
+				cfg := RunConfig{
+					Profile:       p,
+					Agent:         core.Config{},
+					Rate:          rate,
+					Onset:         onset,
+					FloodDuration: 10 * time.Minute,
+					Seed:          seed,
+				}
+				t.Run(fmt.Sprintf("%s/fi=%v/seed=%d", p.Name, rate, seed), func(t *testing.T) {
+					fast, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.RecordLevel = true
+					rec, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					equalRunResults(t, fast, rec)
+				})
+			}
+		}
+	}
+}
+
+// TestRunCrossPathPatterns extends the equivalence to the non-constant
+// flood patterns, whose arrival times come from the thinning RNG: both
+// paths must draw the identical arrival process.
+func TestRunCrossPathPatterns(t *testing.T) {
+	p := trace.Auckland()
+	p.Span = 15 * time.Minute
+	patterns := map[string]flood.Pattern{
+		"bursty": flood.Bursty{PeakRate: 16, On: 30 * time.Second, Off: 30 * time.Second},
+		"ramp":   flood.Ramp{StartRate: 0, EndRate: 16, Span: 5 * time.Minute},
+	}
+	for name, pat := range patterns {
+		pat := pat
+		t.Run(name, func(t *testing.T) {
+			cfg := RunConfig{
+				Profile:       p,
+				Agent:         core.Config{},
+				Pattern:       pat,
+				Onset:         4 * time.Minute,
+				FloodDuration: 8 * time.Minute,
+				Seed:          21,
+			}
+			fast, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.RecordLevel = true
+			rec, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalRunResults(t, fast, rec)
+		})
+	}
+}
+
+// TestSweepCrossPathSharedCounts pins that the shared-counts sweep (one
+// Aggregate, AddFlood overlays per cell) equals a record-level sweep
+// cell for cell.
+func TestSweepCrossPathSharedCounts(t *testing.T) {
+	p := trace.UNC()
+	p.Span = 15 * time.Minute
+	cfg := SweepConfig{
+		Profile:       p,
+		Agent:         core.Config{},
+		Rates:         []float64{40, 80},
+		Runs:          2,
+		OnsetMin:      2 * time.Minute,
+		OnsetMax:      4 * time.Minute,
+		FloodDuration: 8 * time.Minute,
+		Seed:          5,
+		Parallelism:   4,
+	}
+	fast, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RecordLevel = true
+	rec, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(rec) {
+		t.Fatalf("%d rates vs %d", len(fast), len(rec))
+	}
+	for i := range fast {
+		if fast[i] != rec[i] {
+			t.Errorf("rate %v: counts %+v vs record %+v", cfg.Rates[i], fast[i], rec[i])
+		}
+	}
+}
+
+// TestArtifactsCrossPathIdentical is the artifact-level pin: the
+// Monte-Carlo tables and sensitivity figures render byte-identically
+// (text and CSV) whether produced by the counts fast path or the
+// record-level path.
+func TestArtifactsCrossPathIdentical(t *testing.T) {
+	for _, id := range []string{"table2", "table3", "fig7", "fig8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			opts := Options{Seed: 5, Runs: 2, Fast: true, Parallelism: 4}
+			fast := renderAll(t, id, opts)
+			opts.RecordLevel = true
+			rec := renderAll(t, id, opts)
+			if !bytes.Equal(fast, rec) {
+				t.Errorf("artifacts diverge across paths:\n--- counts ---\n%s\n--- record ---\n%s", fast, rec)
+			}
+		})
+	}
+}

@@ -173,37 +173,92 @@ func Times(cfg Config) ([]time.Duration, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	var out []time.Duration
 	if c, ok := cfg.Pattern.(Constant); ok {
-		return constantTimes(cfg.Start, cfg.Duration, c.PerSecond), nil
+		out = make([]time.Duration, 0, int(c.PerSecond*cfg.Duration.Seconds()))
 	}
-	return thinnedTimes(cfg)
+	visitTimes(cfg, func(t time.Duration) {
+		out = append(out, t)
+	})
+	return out, nil
 }
 
-func constantTimes(start, duration time.Duration, rate float64) []time.Duration {
-	n := int(rate * duration.Seconds())
-	out := make([]time.Duration, 0, n)
+// visitTimes streams the arrival process of a validated config to fn,
+// in emission order. Times and CountInto both run on this one
+// generator, so counting arrivals is arithmetic-for-arithmetic the
+// same process as materializing them.
+func visitTimes(cfg Config, fn func(time.Duration)) {
+	if c, ok := cfg.Pattern.(Constant); ok {
+		constantVisit(cfg.Start, cfg.Duration, c.PerSecond, fn)
+		return
+	}
+	thinnedVisit(cfg, fn)
+}
+
+func constantVisit(start, duration time.Duration, rate float64, fn func(time.Duration)) {
 	gap := time.Duration(float64(time.Second) / rate)
 	for t := start; t < start+duration; t += gap {
-		out = append(out, t)
+		fn(t)
 	}
-	return out
 }
 
-func thinnedTimes(cfg Config) ([]time.Duration, error) {
+func thinnedVisit(cfg Config, fn func(time.Duration)) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	peak := cfg.Pattern.Peak()
-	var out []time.Duration
 	t := cfg.Start
 	for {
 		gap := rng.ExpFloat64() / peak
 		t += time.Duration(gap * float64(time.Second))
 		if t >= cfg.Start+cfg.Duration {
-			return out, nil
+			return
 		}
 		if rng.Float64()*peak <= cfg.Pattern.Rate(t-cfg.Start) {
-			out = append(out, t)
+			fn(t)
 		}
 	}
+}
+
+// CountPerPeriod bins the flood's SYN arrival process into per-period
+// counts: out[i] is the number of flood SYNs emitted during period i,
+// for periods of length t0 starting at trace time zero. It draws the
+// exact same arrival times as GenerateTrace (Times with the same
+// config, including the thinning RNG for non-constant patterns) but
+// never materializes records or spoofed addresses, so a counts-level
+// experiment pays O(flood events) here instead of O(records log
+// records) for generate+merge+sort. Arrivals beyond the last complete
+// period are dropped, exactly as a replay clipped to the background
+// span never counts them.
+func CountPerPeriod(cfg Config, t0 time.Duration, periods int) ([]float64, error) {
+	if periods < 0 {
+		return nil, fmt.Errorf("%w: negative period count %d", ErrBadConfig, periods)
+	}
+	out := make([]float64, periods)
+	if err := CountInto(cfg, t0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountInto accumulates the flood's per-period SYN arrivals into out:
+// out[i] gains one per arrival during period i, on top of whatever out
+// already holds. It is CountPerPeriod for callers that reuse a
+// counting buffer — a sweep worker copies the shared background counts
+// into its scratch overlay and bins the flood straight into it,
+// leaving no allocation in the per-cell loop. Arrivals beyond len(out)
+// periods are dropped, exactly as in CountPerPeriod.
+func CountInto(cfg Config, t0 time.Duration, out []float64) error {
+	if t0 <= 0 {
+		return fmt.Errorf("%w: non-positive observation period %v", ErrBadConfig, t0)
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	visitTimes(cfg, func(ts time.Duration) {
+		if idx := int(ts / t0); idx >= 0 && idx < len(out) {
+			out[idx]++
+		}
+	})
+	return nil
 }
 
 // GenerateTrace renders the flood as outbound SYN records, ready to be

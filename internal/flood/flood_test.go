@@ -353,3 +353,97 @@ func TestEqualVolumePatternsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCountPerPeriodMatchesGenerateTrace pins the counts fast path at
+// the flood layer: binning the arrival process directly must equal
+// rendering records with GenerateTrace and aggregating them, for every
+// pattern, including arrivals dropped past the last complete period.
+func TestCountPerPeriodMatchesGenerateTrace(t *testing.T) {
+	t0 := 20 * time.Second
+	patterns := map[string]Pattern{
+		"constant": Constant{PerSecond: 45},
+		"bursty":   Bursty{PeakRate: 100, On: 2 * time.Second, Off: 2 * time.Second},
+		"ramp":     Ramp{StartRate: 0, EndRate: 80, Span: 5 * time.Minute},
+	}
+	for name, p := range patterns {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			cfg := baseConfig(p)
+			// Fewer periods than the flood covers, so the tail is dropped
+			// on both paths.
+			periods := int((cfg.Start + cfg.Duration) / t0 / 2)
+			got, err := CountPerPeriod(cfg, t0, periods)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := GenerateTrace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Span = time.Duration(periods) * t0
+			want := make([]float64, periods)
+			for _, r := range tr.Records {
+				if idx := int(r.Ts / t0); idx < periods {
+					want[idx]++
+				}
+			}
+			if len(got) != periods {
+				t.Fatalf("%d periods, want %d", len(got), periods)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("period %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCountPerPeriodValidation(t *testing.T) {
+	cfg := baseConfig(Constant{PerSecond: 5})
+	if _, err := CountPerPeriod(cfg, 0, 10); err == nil {
+		t.Error("zero t0 accepted")
+	}
+	if _, err := CountPerPeriod(cfg, 20*time.Second, -1); err == nil {
+		t.Error("negative periods accepted")
+	}
+	out, err := CountPerPeriod(cfg, 20*time.Second, 0)
+	if err != nil || len(out) != 0 {
+		t.Errorf("zero periods: got %v, %v; want empty, nil", out, err)
+	}
+	if _, err := CountPerPeriod(Config{}, 20*time.Second, 5); err == nil {
+		t.Error("invalid flood config accepted")
+	}
+}
+
+// TestCountIntoAccumulates pins the overlay contract: CountInto adds
+// the binned arrivals on top of whatever the buffer holds, identically
+// to CountPerPeriod plus an elementwise sum.
+func TestCountIntoAccumulates(t *testing.T) {
+	cfg := baseConfig(Constant{PerSecond: 7})
+	const t0, periods = 20 * time.Second, 12
+	sep, err := CountPerPeriod(cfg, t0, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]float64, periods)
+	want := make([]float64, periods)
+	for i := range base {
+		base[i] = float64(100 + i)
+		want[i] = base[i] + sep[i]
+	}
+	if err := CountInto(cfg, t0, base); err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != want[i] {
+			t.Errorf("period %d = %v, want %v", i, base[i], want[i])
+		}
+	}
+	if err := CountInto(cfg, 0, base); err == nil {
+		t.Error("zero t0 accepted")
+	}
+	if err := CountInto(Config{}, t0, base); err == nil {
+		t.Error("invalid flood config accepted")
+	}
+}

@@ -13,7 +13,12 @@ import "sync"
 // honors this for free.
 type Cache struct {
 	mu sync.Mutex
-	m  map[cacheKey]*Trace
+	m  map[cacheKey]*cacheEntry
+
+	// generate is the generator invoked on a miss; nil means the
+	// package-level Generate. Tests substitute it to observe call
+	// counts and to inject slow or failing generators.
+	generate func(Profile, int64) (*Trace, error)
 }
 
 // cacheKey identifies one generated trace. Profile contains only
@@ -23,38 +28,55 @@ type cacheKey struct {
 	seed    int64
 }
 
+// cacheEntry is one singleflight slot: the first caller for a key owns
+// the generation and closes ready when tr/err are set; latecomers wait
+// on ready instead of generating a duplicate trace.
+type cacheEntry struct {
+	ready chan struct{}
+	tr    *Trace
+	err   error
+}
+
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[cacheKey]*Trace)}
+	return &Cache{m: make(map[cacheKey]*cacheEntry)}
 }
 
 // Generate returns the memoized trace for (p, seed), generating and
 // storing it on first use. Generation happens outside the lock so a
-// slow profile does not serialize unrelated lookups; if two goroutines
-// race on the same key, the first stored result wins and both get it.
+// slow profile does not serialize unrelated lookups, and concurrent
+// callers racing on the same key are coalesced: exactly one generates,
+// the rest block until its result is ready and share it. A failed
+// generation is not cached — its waiters get the error, and the next
+// caller retries.
 func (c *Cache) Generate(p Profile, seed int64) (*Trace, error) {
 	key := cacheKey{profile: p, seed: seed}
 	c.mu.Lock()
-	if tr, ok := c.m[key]; ok {
+	if e, ok := c.m[key]; ok {
 		c.mu.Unlock()
-		return tr, nil
+		<-e.ready
+		return e.tr, e.err
 	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.m[key] = e
+	gen := c.generate
 	c.mu.Unlock()
 
-	tr, err := Generate(p, seed)
-	if err != nil {
-		return nil, err
+	if gen == nil {
+		gen = Generate
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prior, ok := c.m[key]; ok {
-		return prior, nil
+	e.tr, e.err = gen(p, seed)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.m, key)
+		c.mu.Unlock()
 	}
-	c.m[key] = tr
-	return tr, nil
+	close(e.ready)
+	return e.tr, e.err
 }
 
-// Len reports how many distinct traces are cached.
+// Len reports how many distinct traces are cached (including any whose
+// generation is still in flight).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

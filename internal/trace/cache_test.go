@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -68,6 +70,90 @@ func TestCacheMatchesDirectGenerate(t *testing.T) {
 		if cached.Records[i] != direct.Records[i] {
 			t.Fatalf("record %d differs: %+v vs %+v", i, cached.Records[i], direct.Records[i])
 		}
+	}
+}
+
+// TestCacheSingleflight pins the coalescing contract: concurrent
+// callers racing on one key trigger exactly one underlying generation,
+// and everyone shares its result. The stub generator blocks until all
+// racers are running, so most callers arrive while the first
+// generation is still in flight; whichever side of the insert they
+// land on, a second generate call is a hard failure.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	p := cacheProfile()
+	const racers = 8
+	var calls int32
+	entered := make(chan struct{}, racers)
+	release := make(chan struct{})
+	stub := &Trace{Name: "stub", Span: time.Minute}
+	c.generate = func(Profile, int64) (*Trace, error) {
+		atomic.AddInt32(&calls, 1)
+		<-release
+		return stub, nil
+	}
+
+	var wg sync.WaitGroup
+	traces := make([]*Trace, racers)
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered <- struct{}{}
+			tr, err := c.Generate(p, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	for i := 0; i < racers; i++ {
+		<-entered
+	}
+	close(release)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Errorf("underlying generate ran %d times, want 1", n)
+	}
+	for i := range traces {
+		if traces[i] != stub {
+			t.Fatalf("caller %d got %p, want the shared generation", i, traces[i])
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheFailedGenerationRetries pins the error contract: a failed
+// generation is not cached, so the next caller retries instead of
+// being served the stale error forever.
+func TestCacheFailedGenerationRetries(t *testing.T) {
+	c := NewCache()
+	p := cacheProfile()
+	calls := 0
+	boom := errors.New("boom")
+	c.generate = func(Profile, int64) (*Trace, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return &Trace{Name: "ok", Span: time.Minute}, nil
+	}
+	if _, err := c.Generate(p, 9); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed generation left %d cache entries", c.Len())
+	}
+	tr, err := c.Generate(p, 9)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if tr.Name != "ok" || calls != 2 {
+		t.Fatalf("retry got %q after %d calls, want fresh generation on call 2", tr.Name, calls)
 	}
 }
 

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// mergeReference is the pre-two-pointer Merge: append both inputs and
+// stable-sort. The fast path must reproduce it exactly, ties included.
+func mergeReference(name string, a, b *Trace) *Trace {
+	out := &Trace{Name: name, Span: a.Span}
+	if b.Span > out.Span {
+		out.Span = b.Span
+	}
+	out.Records = append(out.Records, a.Records...)
+	out.Records = append(out.Records, b.Records...)
+	out.Sort()
+	return out
+}
+
+func randomSortedTrace(rng *rand.Rand, n int, span time.Duration) *Trace {
+	tr := &Trace{Name: "rand", Span: span}
+	ts := time.Duration(0)
+	for i := 0; i < n; i++ {
+		// Zero steps are common, so co-timed records across both inputs
+		// exercise the tie-break.
+		ts += time.Duration(rng.Intn(3)) * time.Second
+		if ts >= span {
+			break
+		}
+		kind := packet.KindSYN
+		if rng.Intn(2) == 0 {
+			kind = packet.KindSYNACK
+		}
+		tr.Records = append(tr.Records, Record{Ts: ts, Kind: kind, Dir: Direction(rng.Intn(2)), SrcPort: uint16(i)})
+	}
+	return tr
+}
+
+// TestMergeMatchesSortReference pins the two-pointer merge against the
+// append-then-stable-sort implementation it replaced, across random
+// sorted inputs with plenty of equal timestamps. SrcPort tags each
+// record, so an order swap among co-timed records is caught.
+func TestMergeMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randomSortedTrace(rng, rng.Intn(40), time.Minute)
+		b := randomSortedTrace(rng, rng.Intn(40), 90*time.Second)
+		got := Merge("m", a, b)
+		want := mergeReference("m", a, b)
+		if got.Span != want.Span || len(got.Records) != len(want.Records) {
+			t.Fatalf("trial %d: span/len diverge: %v/%d vs %v/%d",
+				trial, got.Span, len(got.Records), want.Span, len(want.Records))
+		}
+		for i := range got.Records {
+			if got.Records[i] != want.Records[i] {
+				t.Fatalf("trial %d: record %d = %+v, want %+v", trial, i, got.Records[i], want.Records[i])
+			}
+		}
+	}
+}
+
+// TestMergeUnsortedFallback: hand-built unsorted inputs still come out
+// sorted.
+func TestMergeUnsortedFallback(t *testing.T) {
+	a := &Trace{Span: time.Minute, Records: []Record{
+		{Ts: 30 * time.Second}, {Ts: 10 * time.Second},
+	}}
+	b := &Trace{Span: time.Minute, Records: []Record{{Ts: 20 * time.Second}}}
+	m := Merge("m", a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace unsorted: %v", err)
+	}
+	if len(m.Records) != 3 || m.Records[0].Ts != 10*time.Second {
+		t.Fatalf("merge of unsorted inputs wrong: %+v", m.Records)
+	}
+}
+
+func TestClipSpan(t *testing.T) {
+	tr := &Trace{Span: time.Minute, Records: []Record{
+		{Ts: 10 * time.Second}, {Ts: 29 * time.Second},
+		{Ts: 30 * time.Second}, {Ts: 45 * time.Second},
+	}}
+	tr.ClipSpan(30 * time.Second)
+	if tr.Span != 30*time.Second {
+		t.Errorf("span = %v, want 30s", tr.Span)
+	}
+	// A record at exactly the new span must go: Validate requires
+	// Ts < Span.
+	if len(tr.Records) != 2 {
+		t.Fatalf("%d records kept, want 2", len(tr.Records))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("clipped trace invalid: %v", err)
+	}
+}
+
+func TestAddFloodOverlay(t *testing.T) {
+	bg := &PeriodCounts{
+		T0:       time.Second,
+		OutSYN:   []float64{10, 20, 30},
+		InSYNACK: []float64{9, 19, 29},
+	}
+	// Longer flood than background: the tail is clamped, mirroring a
+	// merged trace clipped to the background span.
+	got := bg.AddFlood([]float64{5, 0, 7, 100})
+	if want := []float64{15, 20, 37}; len(got.OutSYN) != 3 ||
+		got.OutSYN[0] != want[0] || got.OutSYN[1] != want[1] || got.OutSYN[2] != want[2] {
+		t.Errorf("OutSYN = %v, want %v", got.OutSYN, want)
+	}
+	if bg.OutSYN[0] != 10 {
+		t.Error("AddFlood mutated the shared background counts")
+	}
+	if &got.InSYNACK[0] != &bg.InSYNACK[0] {
+		t.Error("InSYNACK not shared (flood adds no SYN/ACKs; copying wastes the sweep win)")
+	}
+	if got.T0 != bg.T0 || got.Periods() != bg.Periods() {
+		t.Errorf("shape changed: T0 %v periods %d", got.T0, got.Periods())
+	}
+}
+
+func TestAggregateLastMileMapping(t *testing.T) {
+	tr := &Trace{Span: 2 * time.Second, Records: []Record{
+		{Ts: 0, Kind: packet.KindSYN, Dir: DirIn},  // opening
+		{Ts: 0, Kind: packet.KindSYN, Dir: DirOut}, // not victim-side opening
+		{Ts: 0, Kind: packet.KindFIN, Dir: DirOut}, // closing
+		{Ts: 0, Kind: packet.KindRST, Dir: DirOut}, // closing
+		{Ts: 0, Kind: packet.KindFIN, Dir: DirIn},  // not a victim-side closing
+		{Ts: time.Second, Kind: packet.KindSYN, Dir: DirIn},
+	}}
+	pc, err := tr.AggregateLastMile(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.OutSYN[0] != 1 || pc.InSYNACK[0] != 2 {
+		t.Errorf("period 0 = %v/%v, want 1 opening / 2 closings", pc.OutSYN[0], pc.InSYNACK[0])
+	}
+	if pc.OutSYN[1] != 1 || pc.InSYNACK[1] != 0 {
+		t.Errorf("period 1 = %v/%v, want 1/0", pc.OutSYN[1], pc.InSYNACK[1])
+	}
+}
+
+// allocTrace builds a deterministic mid-sized trace for the allocation
+// assertions.
+func allocTrace(n int) *Trace {
+	tr := &Trace{Name: "alloc", Span: time.Hour}
+	for i := 0; i < n; i++ {
+		kind := packet.KindSYN
+		if i%2 == 0 {
+			kind = packet.KindSYNACK
+		}
+		tr.Records = append(tr.Records, Record{
+			Ts: time.Duration(i) * time.Millisecond, Kind: kind, Dir: Direction(i % 2),
+		})
+	}
+	return tr
+}
+
+// TestFilterAllocs pins Filter to its preallocated form: one Trace
+// header plus one full-capacity record slice, never append-doubling.
+func TestFilterAllocs(t *testing.T) {
+	tr := allocTrace(4096)
+	avg := testing.AllocsPerRun(10, func() {
+		tr.Filter(func(r Record) bool { return r.Kind == packet.KindSYN })
+	})
+	if avg > 2 {
+		t.Errorf("Filter allocates %.1f times per call, want <= 2 (header + records)", avg)
+	}
+}
+
+// TestFlipAllocs pins Flip similarly (header + records + the renamed
+// Name string).
+func TestFlipAllocs(t *testing.T) {
+	tr := allocTrace(4096)
+	avg := testing.AllocsPerRun(10, func() {
+		tr.Flip()
+	})
+	if avg > 3 {
+		t.Errorf("Flip allocates %.1f times per call, want <= 3 (header + records + name)", avg)
+	}
+}
+
+// TestMergeAllocs: the two-pointer merge allocates the output once.
+func TestMergeAllocs(t *testing.T) {
+	a := allocTrace(2048)
+	b := allocTrace(2048)
+	avg := testing.AllocsPerRun(10, func() {
+		Merge("m", a, b)
+	})
+	if avg > 2 {
+		t.Errorf("Merge allocates %.1f times per call, want <= 2 (header + records)", avg)
+	}
+}

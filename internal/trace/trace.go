@@ -14,9 +14,11 @@
 package trace
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 	"time"
 
@@ -94,21 +96,50 @@ func (t *Trace) Validate() error {
 // Sort orders records by timestamp (stable, preserving insertion order
 // of co-timed records).
 func (t *Trace) Sort() {
-	sort.SliceStable(t.Records, func(i, j int) bool {
-		return t.Records[i].Ts < t.Records[j].Ts
+	slices.SortStableFunc(t.Records, func(a, b Record) int {
+		return cmp.Compare(a.Ts, b.Ts)
 	})
 }
 
+// sortedByTs reports whether the records are already in timestamp
+// order.
+func sortedByTs(rs []Record) bool {
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Ts < rs[i-1].Ts {
+			return false
+		}
+	}
+	return true
+}
+
 // Filter returns a new trace containing only records accepted by keep.
-// Name and Span are preserved.
+// Name and Span are preserved. The output slice is preallocated at the
+// input's length: filters usually keep most records, and a single
+// over-sized allocation beats the log(n) growth copies of appending
+// from nil.
 func (t *Trace) Filter(keep func(Record) bool) *Trace {
 	out := &Trace{Name: t.Name, Span: t.Span}
+	out.Records = make([]Record, 0, len(t.Records))
 	for _, r := range t.Records {
 		if keep(r) {
 			out.Records = append(out.Records, r)
 		}
 	}
 	return out
+}
+
+// ClipSpan truncates the trace in place to the given span: records at
+// Ts >= span are dropped and Span becomes span. Records are assumed
+// sorted (the Trace invariant), so the cut point is found by binary
+// search and no record is copied — this is how a merged
+// background+flood trace is clipped back to the background's span
+// without the full Filter pass.
+func (t *Trace) ClipSpan(span time.Duration) {
+	n := sort.Search(len(t.Records), func(i int) bool {
+		return t.Records[i].Ts >= span
+	})
+	t.Records = t.Records[:n]
+	t.Span = span
 }
 
 // Split separates a bidirectional trace into its uni-directional
@@ -138,15 +169,36 @@ func (t *Trace) Flip() *Trace {
 // Merge combines two traces into a new sorted trace whose span is the
 // larger of the two. It is how flood traffic is mixed into background
 // traffic (Figure 6).
+//
+// Both inputs normally already satisfy the Trace sort invariant, so the
+// combination is a single two-pointer pass — O(len(a)+len(b)) instead
+// of the O(n log n) re-sort. Ties keep a's records before b's, exactly
+// the order the append-then-stable-sort implementation produced.
+// Unsorted inputs (hand-built traces) fall back to that implementation.
 func Merge(name string, a, b *Trace) *Trace {
 	out := &Trace{Name: name, Span: a.Span}
 	if b.Span > out.Span {
 		out.Span = b.Span
 	}
 	out.Records = make([]Record, 0, len(a.Records)+len(b.Records))
-	out.Records = append(out.Records, a.Records...)
-	out.Records = append(out.Records, b.Records...)
-	out.Sort()
+	if !sortedByTs(a.Records) || !sortedByTs(b.Records) {
+		out.Records = append(out.Records, a.Records...)
+		out.Records = append(out.Records, b.Records...)
+		out.Sort()
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a.Records) && j < len(b.Records) {
+		if a.Records[i].Ts <= b.Records[j].Ts {
+			out.Records = append(out.Records, a.Records[i])
+			i++
+		} else {
+			out.Records = append(out.Records, b.Records[j])
+			j++
+		}
+	}
+	out.Records = append(out.Records, a.Records[i:]...)
+	out.Records = append(out.Records, b.Records[j:]...)
 	return out
 }
 
@@ -164,6 +216,30 @@ type PeriodCounts struct {
 
 // Periods returns the number of complete periods.
 func (p *PeriodCounts) Periods() int { return len(p.OutSYN) }
+
+// AddFlood returns a new PeriodCounts overlaying per-period flood SYN
+// counts on the receiver. The receiver is read-only and unchanged, so
+// one aggregated background can back many concurrent flooded runs; the
+// InSYNACK slice is shared (spoofed sources never answer, so a flood
+// adds no SYN/ACKs) and only OutSYN is copied. Periods beyond the
+// receiver's range are dropped, mirroring how a merged trace is clipped
+// to the background span.
+func (p *PeriodCounts) AddFlood(floodSYN []float64) *PeriodCounts {
+	out := &PeriodCounts{
+		T0:       p.T0,
+		OutSYN:   make([]float64, len(p.OutSYN)),
+		InSYNACK: p.InSYNACK,
+	}
+	copy(out.OutSYN, p.OutSYN)
+	n := len(floodSYN)
+	if n > len(out.OutSYN) {
+		n = len(out.OutSYN)
+	}
+	for i := 0; i < n; i++ {
+		out.OutSYN[i] += floodSYN[i]
+	}
+	return out
+}
 
 // Aggregate bins the trace into observation periods of length t0. The
 // final partial period, if any, is dropped (the agent only acts on
@@ -193,6 +269,41 @@ func (t *Trace) Aggregate(t0 time.Duration) (*PeriodCounts, error) {
 		case r.Dir == DirOut && r.Kind == packet.KindSYN:
 			pc.OutSYN[idx]++
 		case r.Dir == DirIn && r.Kind == packet.KindSYNACK:
+			pc.InSYNACK[idx]++
+		}
+	}
+	return pc, nil
+}
+
+// AggregateLastMile bins the trace into the victim-side pairing the
+// last-mile agent consumes: OutSYN[i] holds the period's connection
+// openings (incoming SYNs) and InSYNACK[i] its closings (outgoing FINs
+// and RSTs), matching core.LastMileAgent.Observe's counter mapping.
+func (t *Trace) AggregateLastMile(t0 time.Duration) (*PeriodCounts, error) {
+	if t0 <= 0 {
+		return nil, errors.New("trace: non-positive observation period")
+	}
+	if t.Span <= 0 {
+		return nil, ErrEmpty
+	}
+	n := int(t.Span / t0)
+	if n == 0 {
+		return nil, fmt.Errorf("trace: span %v shorter than one period %v", t.Span, t0)
+	}
+	pc := &PeriodCounts{
+		T0:       t0,
+		OutSYN:   make([]float64, n),
+		InSYNACK: make([]float64, n),
+	}
+	for _, r := range t.Records {
+		idx := int(r.Ts / t0)
+		if idx < 0 || idx >= n {
+			continue
+		}
+		switch {
+		case r.Dir == DirIn && r.Kind == packet.KindSYN:
+			pc.OutSYN[idx]++
+		case r.Dir == DirOut && (r.Kind == packet.KindFIN || r.Kind == packet.KindRST):
 			pc.InSYNACK[idx]++
 		}
 	}
