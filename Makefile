@@ -30,12 +30,12 @@ record:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Root benchmark suite, 6 samples per benchmark, distilled into the
-# committed BENCH_pr3.json baseline (median ns/op, B/op, allocs/op per
+# committed BENCH_pr4.json baseline (median ns/op, B/op, allocs/op per
 # benchmark) so perf changes diff against a recorded trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr3.raw
-	$(GO) run ./cmd/benchjson -o BENCH_pr3.json < BENCH_pr3.raw
-	rm -f BENCH_pr3.raw
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr4.raw
+	$(GO) run ./cmd/benchjson -o BENCH_pr4.json < BENCH_pr4.raw
+	rm -f BENCH_pr4.raw
 
 # Benchmarks across every package, one sample each (no JSON).
 bench-all:
@@ -69,6 +69,8 @@ fuzz:
 	$(GO) test ./internal/trace -fuzz '^FuzzAggregate$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pcapng -fuzz '^FuzzReader$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pcapng -fuzz '^FuzzReaderStreaming$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReaderStreaming$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

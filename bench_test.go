@@ -11,6 +11,7 @@ package repro
 
 import (
 	"net/netip"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cusum"
 	"repro/internal/experiment"
 	"repro/internal/flood"
+	"repro/internal/ingest"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/trace"
@@ -345,6 +347,108 @@ func BenchmarkProcessTrace(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- streaming ingestion -----------------------------------------------
+
+// streamBench holds the shared fixture for the streaming-ingestion
+// benchmark: a 10-minute Auckland trace exported once as a libpcap
+// capture. TestMain removes the file after the run.
+var streamBench struct {
+	sync.Once
+	path    string
+	records int
+	err     error
+}
+
+func streamBenchPcap(b *testing.B) (string, int) {
+	b.Helper()
+	streamBench.Do(func() {
+		p := trace.Auckland()
+		p.Span = 10 * time.Minute
+		tr, err := trace.Generate(p, 1)
+		if err != nil {
+			streamBench.err = err
+			return
+		}
+		f, err := os.CreateTemp("", "stream-bench-*.pcap")
+		if err != nil {
+			streamBench.err = err
+			return
+		}
+		streamBench.path = f.Name()
+		if err := trace.WritePcap(f, tr); err != nil {
+			f.Close()
+			streamBench.err = err
+			return
+		}
+		if err := f.Close(); err != nil {
+			streamBench.err = err
+			return
+		}
+		// Prescan for the classified record count — the same O(1) pass
+		// syndogd runs before streaming a capture.
+		pf, err := os.Open(streamBench.path)
+		if err != nil {
+			streamBench.err = err
+			return
+		}
+		info, err := ingest.PcapInfo(pf)
+		pf.Close()
+		if err != nil {
+			streamBench.err = err
+			return
+		}
+		streamBench.records = info.Records
+	})
+	if streamBench.err != nil {
+		b.Fatal(streamBench.err)
+	}
+	return streamBench.path, streamBench.records
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if streamBench.path != "" {
+		os.Remove(streamBench.path)
+	}
+	os.Exit(code)
+}
+
+// BenchmarkStreamingIngestPcap measures the full streaming pipeline on
+// a pcap capture — open, classify, aggregate, detect — exactly as the
+// binaries construct it. The capture never materializes in memory; the
+// records/s metric is the sustained ingest rate of one detector.
+func BenchmarkStreamingIngestPcap(b *testing.B) {
+	path, records := streamBenchPcap(b)
+	prefix := netip.MustParsePrefix("130.216.0.0/16")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent, err := core.NewAgent(core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, _, err := ingest.Open(path, prefix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := &ingest.Pipeline{
+			Source:   src,
+			Detector: ingest.WrapAgent(agent),
+			T0:       core.DefaultObservationPeriod,
+		}
+		if err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := src.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if len(agent.Reports()) == 0 {
+			b.Fatal("no periods")
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
 // BenchmarkFloodGeneration measures synthesizing a 10-minute

@@ -1,13 +1,13 @@
 // Command benchjson distills `go test -bench` output into a JSON
 // baseline: one entry per benchmark mapping its name to the median
 // ns/op, B/op and allocs/op across however many -count samples the run
-// produced. The repository commits the result (BENCH_pr3.json, via
+// produced. The repository commits the result (BENCH_pr4.json, via
 // `make bench`) so performance changes diff against a recorded
 // trajectory instead of a rerun.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem -count=6 . | benchjson -o BENCH_pr3.json
+//	go test -run '^$' -bench . -benchmem -count=6 . | benchjson -o BENCH_pr4.json
 package main
 
 import (
@@ -28,17 +28,27 @@ type Stats struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	Samples     int     `json:"samples"`
+	// Metrics holds the medians of any custom b.ReportMetric columns
+	// (e.g. records/s from the streaming-ingestion benchmark).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Samples int                `json:"samples"`
 }
 
-// benchLine matches one result line of -benchmem output, e.g.
+// benchLine matches one result line of -benchmem output, optionally
+// carrying custom b.ReportMetric columns between ns/op and B/op, e.g.
 //
 //	BenchmarkSweepFastPath-8   2   7266558 ns/op   71412 B/op   54 allocs/op
+//	BenchmarkStreamingIngestPcap   162   7229588 ns/op   1532042 records/s   5008 B/op   21 allocs/op
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op((?:\s+[\d.]+ \S+)*?)\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+
+// metricCol picks the individual custom columns out of benchLine's
+// middle capture.
+var metricCol = regexp.MustCompile(`([\d.]+) (\S+)`)
 
 type samples struct {
 	ns, bytes, allocs []float64
+	metrics           map[string][]float64
 }
 
 // parse collects per-benchmark samples from a benchmark output stream.
@@ -53,22 +63,36 @@ func parse(r io.Reader) (map[string]*samples, error) {
 		if m == nil {
 			continue
 		}
-		vals := make([]float64, 3)
-		for i, s := range m[2:] {
+		var ns, bytes, allocs float64
+		for i, s := range []string{m[2], m[4], m[5]} {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchjson: bad value %q in %q: %v", s, sc.Text(), err)
 			}
-			vals[i] = v
+			switch i {
+			case 0:
+				ns = v
+			case 1:
+				bytes = v
+			case 2:
+				allocs = v
+			}
 		}
 		s := out[m[1]]
 		if s == nil {
-			s = &samples{}
+			s = &samples{metrics: make(map[string][]float64)}
 			out[m[1]] = s
 		}
-		s.ns = append(s.ns, vals[0])
-		s.bytes = append(s.bytes, vals[1])
-		s.allocs = append(s.allocs, vals[2])
+		s.ns = append(s.ns, ns)
+		s.bytes = append(s.bytes, bytes)
+		s.allocs = append(s.allocs, allocs)
+		for _, mc := range metricCol.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mc[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad metric %q in %q: %v", mc[1], sc.Text(), err)
+			}
+			s.metrics[mc[2]] = append(s.metrics[mc[2]], v)
+		}
 	}
 	return out, sc.Err()
 }
@@ -88,12 +112,19 @@ func median(vs []float64) float64 {
 func distill(raw map[string]*samples) map[string]Stats {
 	out := make(map[string]Stats, len(raw))
 	for name, s := range raw {
-		out[name] = Stats{
+		st := Stats{
 			NsPerOp:     median(s.ns),
 			BytesPerOp:  median(s.bytes),
 			AllocsPerOp: median(s.allocs),
 			Samples:     len(s.ns),
 		}
+		if len(s.metrics) > 0 {
+			st.Metrics = make(map[string]float64, len(s.metrics))
+			for unit, vs := range s.metrics {
+				st.Metrics[unit] = median(vs)
+			}
+		}
+		out[name] = st
 	}
 	return out
 }

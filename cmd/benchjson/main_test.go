@@ -15,6 +15,9 @@ BenchmarkSweepFastPath      	       2	   7266558 ns/op	   71412 B/op	      54 al
 BenchmarkSweepFastPath      	       2	   7000000 ns/op	   71000 B/op	      54 allocs/op
 BenchmarkSweepFastPath      	       2	   9999999 ns/op	   80000 B/op	      55 allocs/op
 BenchmarkRunCellFastPath-8  	   13062	     90839 ns/op	    1568 B/op	       2 allocs/op
+BenchmarkStreamingIngestPcap	     162	   7229588 ns/op	   1532042 records/s	    5008 B/op	      21 allocs/op
+BenchmarkStreamingIngestPcap	     159	   7166086 ns/op	   1545618 records/s	    5008 B/op	      21 allocs/op
+BenchmarkStreamingIngestPcap	     154	   7217385 ns/op	   1534632 records/s	    5008 B/op	      21 allocs/op
 BenchmarkNoMem              	     100	     12345 ns/op
 PASS
 ok  	repro	1.747s
@@ -42,6 +45,19 @@ func TestParseAndDistill(t *testing.T) {
 	if cell.Samples != 1 || cell.BytesPerOp != 1568 {
 		t.Errorf("cell stats wrong: %+v", cell)
 	}
+	// Custom b.ReportMetric columns between ns/op and B/op must not
+	// break the standard columns, and their medians are recorded.
+	stream, ok := stats["BenchmarkStreamingIngestPcap"]
+	if !ok {
+		t.Fatalf("custom-metric line not parsed: %v", stats)
+	}
+	if stream.Samples != 3 || stream.NsPerOp != 7217385 ||
+		stream.BytesPerOp != 5008 || stream.AllocsPerOp != 21 {
+		t.Errorf("custom-metric stats wrong: %+v", stream)
+	}
+	if got := stream.Metrics["records/s"]; got != 1534632 {
+		t.Errorf("records/s median = %v, want 1534632", got)
+	}
 	// Lines without -benchmem columns are skipped, not misparsed.
 	if _, ok := stats["BenchmarkNoMem"]; ok {
 		t.Error("benchmark without allocation columns should be ignored")
@@ -63,8 +79,8 @@ func TestRunEmitsSortedJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if len(decoded) != 2 {
-		t.Errorf("got %d entries, want 2: %v", len(decoded), decoded)
+	if len(decoded) != 3 {
+		t.Errorf("got %d entries, want 3: %v", len(decoded), decoded)
 	}
 }
 

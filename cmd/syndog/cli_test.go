@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the syndog binary a single time per test run so
+// the CLI tests exercise the real executable: flag parsing, stderr
+// prefix, and — the part in-process tests cannot see — the process
+// exit status contract (0 = quiet, 2 = alarm, 1 = error). The build
+// directory outlives any single test; TestMain removes it.
+var buildOnce struct {
+	sync.Once
+	dir string
+	bin string
+	err error
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildOnce.dir != "" {
+		os.RemoveAll(buildOnce.dir)
+	}
+	os.Exit(code)
+}
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "syndog-cli")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		buildOnce.dir = dir
+		bin := filepath.Join(dir, "syndog")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			t.Logf("go build: %s", out)
+			buildOnce.err = err
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+// runCLI executes the built binary and returns its exit code, stdout
+// and stderr.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(buildCLI(t), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		exitErr, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = exitErr.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCLIExitZeroOnQuietTrace(t *testing.T) {
+	path := writeTempTrace(t, benignTrace(t), "bg.trace")
+	code, stdout, _ := runCLI(t, "-in", path)
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "no flooding detected") {
+		t.Errorf("stdout = %q", stdout)
+	}
+}
+
+func TestCLIExitTwoOnAlarm(t *testing.T) {
+	tr := floodedTrace(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"mixed.trace", nil},
+		{"mixed.csv", nil},
+		{"mixed.pcap", []string{"-prefix", "130.216.0.0/16"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTempTrace(t, tr, tc.name)
+			code, stdout, _ := runCLI(t, append([]string{"-in", path}, tc.args...)...)
+			if code != 2 {
+				t.Errorf("exit code = %d, want 2", code)
+			}
+			if !strings.Contains(stdout, "FLOODING ALARM") {
+				t.Errorf("stdout = %q", stdout)
+			}
+		})
+	}
+}
+
+func TestCLIExitOneOnError(t *testing.T) {
+	pcap := writeTempTrace(t, floodedTrace(t), "mixed.pcap")
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"missing -in", nil},
+		{"nonexistent file", []string{"-in", filepath.Join(t.TempDir(), "nope.trace")}},
+		{"pcap without prefix", []string{"-in", pcap}},
+		{"unknown detector", []string{"-in", pcap, "-prefix", "130.216.0.0/16", "-detector", "psychic"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1", code)
+			}
+			if !strings.Contains(stderr, "syndog:") {
+				t.Errorf("stderr = %q, want syndog: prefix", stderr)
+			}
+		})
+	}
+}
+
+func TestCLIDetectorFlag(t *testing.T) {
+	path := writeTempTrace(t, floodedTrace(t), "mixed.trace")
+	// The static threshold (default 250 SYN/period) trips on the flood
+	// tail of the mixed trace just like the CUSUM does.
+	code, stdout, _ := runCLI(t, "-in", path, "-detector", "static-threshold")
+	if code != 2 {
+		t.Errorf("static-threshold exit code = %d, want 2 (stdout %q)", code, stdout)
+	}
+}

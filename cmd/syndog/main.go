@@ -1,12 +1,17 @@
-// Command syndog runs the SYN-dog detector over a recorded trace and
-// reports the per-period CUSUM state and any flooding alarm — the
+// Command syndog runs a SYN-dog detector over a recorded capture and
+// reports the per-period detection state and any flooding alarm — the
 // offline equivalent of the leaf-router agent.
+//
+// Input flows through the streaming ingest pipeline (Source →
+// Aggregate → Detect), so captures larger than memory replay in O(1)
+// space; only the tcpdump text importer materializes (it must sort).
 //
 // Usage:
 //
 //	syndog -in mixed.trace                  # binary trace
 //	syndog -in capture.pcap -prefix 152.2.0.0/16
 //	syndog -in a.csv -a 0.2 -N 0.6          # site-tuned parameters
+//	syndog -in mixed.trace -detector adaptive-ewma
 //
 // Exit status: 0 = no alarm, 2 = flooding alarm raised, 1 = error.
 package main
@@ -17,10 +22,11 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/trace"
+	"repro/internal/ingest"
 )
 
 func main() {
@@ -35,8 +41,9 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("syndog", flag.ContinueOnError)
 	var (
-		in        = fs.String("in", "", "input trace: .trace/.bin (binary), .csv, or .pcap")
+		in        = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, .pcap, .ipt, .txt/.dump")
 		prefixStr = fs.String("prefix", "", "stub prefix for pcap direction inference (e.g. 152.2.0.0/16)")
+		detector  = fs.String("detector", "", "decision rule: "+strings.Join(ingest.DetectorNames(), ", ")+" (default syndog-cusum)")
 		t0        = fs.Duration("t0", 20*time.Second, "observation period")
 		offset    = fs.Float64("a", 0.35, "CUSUM offset a")
 		threshold = fs.Float64("N", 1.05, "flooding threshold N")
@@ -49,29 +56,36 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if *in == "" {
 		return 1, fmt.Errorf("missing -in")
 	}
+	var prefix netip.Prefix
+	if *prefixStr != "" {
+		var err error
+		if prefix, err = netip.ParsePrefix(*prefixStr); err != nil {
+			return 1, fmt.Errorf("prefix: %w", err)
+		}
+	}
 
-	tr, err := loadTrace(*in, *prefixStr)
+	src, info, err := ingest.Open(*in, prefix)
 	if err != nil {
 		return 1, err
 	}
+	defer src.Close()
 
-	agent, err := core.NewAgent(core.Config{
-		T0:        *t0,
-		Alpha:     *alpha,
-		Offset:    *offset,
-		Threshold: *threshold,
+	det, err := ingest.NewDetector(*detector, ingest.DetectorConfig{
+		Agent: core.Config{
+			T0:        *t0,
+			Alpha:     *alpha,
+			Offset:    *offset,
+			Threshold: *threshold,
+		},
 	})
 	if err != nil {
 		return 1, err
 	}
-	reports, err := agent.ProcessTrace(tr)
-	if err != nil {
-		return 1, err
-	}
 
+	var sink ingest.Sink
 	if *verbose {
 		fmt.Fprintln(stdout, "period  end        outSYN  inSYN/ACK  K-bar      Xn        yn       alarm")
-		for _, r := range reports {
+		sink = func(r core.Report) {
 			mark := ""
 			if r.Alarmed {
 				mark = "  *** ALARM ***"
@@ -81,27 +95,39 @@ func run(args []string, stdout io.Writer) (int, error) {
 		}
 	}
 
-	fmt.Fprintf(stdout, "trace %q: %d periods of %v, K-bar %.1f\n",
-		tr.Name, len(reports), *t0, agent.KBar())
-	if al := agent.FirstAlarm(); al != nil {
-		fmt.Fprintf(stdout, "FLOODING ALARM at period %d (t=%v, yn=%.3f > N=%.3g)\n",
-			al.Period, al.At, al.Y, *threshold)
+	p := &ingest.Pipeline{Source: src, Detector: det, T0: *t0, Sink: sink}
+	if err := p.Run(); err != nil {
+		return 1, err
+	}
+
+	// Header-carried names (binary, CSV) beat the file path, matching
+	// the materializing loaders.
+	name := info.Name
+	if ns, ok := src.(ingest.NamedSource); ok && ns.Name() != "" {
+		name = ns.Name()
+	}
+
+	// The yn/N/K-bar summary only means something for the CUSUM rule;
+	// baselines report their name instead of another rule's statistic.
+	cusum := *detector == "" || *detector == "syndog-cusum"
+	if cusum {
+		fmt.Fprintf(stdout, "trace %q: %d periods of %v, K-bar %.1f\n",
+			name, det.Periods(), *t0, det.KBar())
+	} else {
+		fmt.Fprintf(stdout, "trace %q: %d periods of %v, detector %s\n",
+			name, det.Periods(), *t0, det.Name())
+	}
+	if al := det.FirstAlarm(); al != nil {
+		if cusum {
+			fmt.Fprintf(stdout, "FLOODING ALARM at period %d (t=%v, yn=%.3f > N=%.3g)\n",
+				al.Period, al.At, al.Y, *threshold)
+		} else {
+			fmt.Fprintf(stdout, "FLOODING ALARM at period %d (t=%v, detector %s)\n",
+				al.Period, al.At, det.Name())
+		}
 		fmt.Fprintln(stdout, "the flooding source is inside this stub network; trigger ingress filtering / MAC location")
 		return 2, nil
 	}
 	fmt.Fprintln(stdout, "no flooding detected")
 	return 0, nil
-}
-
-// loadTrace delegates to trace.Load, which picks the codec from the
-// extension (.trace/.bin/.csv/.pcap/.txt/.dump, each optionally .gz).
-func loadTrace(path, prefixStr string) (*trace.Trace, error) {
-	var prefix netip.Prefix
-	if prefixStr != "" {
-		var err error
-		if prefix, err = netip.ParsePrefix(prefixStr); err != nil {
-			return nil, fmt.Errorf("prefix: %w", err)
-		}
-	}
-	return trace.Load(path, prefix)
 }

@@ -1,9 +1,9 @@
-// Command syndogd runs a SYN-dog agent as a long-lived daemon: it
-// replays a trace in (optionally accelerated) real time through the
-// agent and serves the agent's live state over HTTP — the operational
-// wrapper a network operator would deploy next to a leaf router. The
-// replay/serve/snapshot machinery lives in internal/daemon; this
-// command only parses flags and wires the pieces.
+// Command syndogd runs a SYN-dog detector as a long-lived daemon: it
+// replays a capture in (optionally accelerated) real time through the
+// ingest pipeline and serves the detector's live state over HTTP — the
+// operational wrapper a network operator would deploy next to a leaf
+// router. The replay/serve/snapshot machinery lives in internal/daemon;
+// this command only parses flags and wires the pieces.
 //
 // Endpoints:
 //
@@ -16,10 +16,16 @@
 //
 //	syndogd -in mixed.trace -listen :8080 -speed 60
 //	syndogd -in mixed.trace -state agent.json -checkpoint 30s
+//	syndogd -in capture.pcap -prefix 152.2.0.0/16
+//	syndogd -in mixed.trace -detector adaptive-ewma
 //
 // -speed 60 replays one minute of trace time per wall second; -speed 0
 // processes the whole trace instantly and then just serves the final
 // state (useful for post-mortems).
+//
+// A .pcap input streams: the file is prescanned once in O(1) memory to
+// learn its span and record count, then replayed without ever holding
+// the capture in memory. Direction inference needs -prefix.
 //
 // With -state, the agent snapshot is loaded at start if the file
 // exists and written durably (fsync before rename) at shutdown — and
@@ -27,6 +33,8 @@
 // periods its snapshot already covers, so a restart produces the same
 // report series as one uninterrupted run. A snapshot whose parameters
 // disagree with -t0/-a/-N is a startup error, never silently adopted.
+// Only the syndog-cusum detector carries snapshot state, so -state
+// requires it; the baselines are stateless comparisons.
 package main
 
 import (
@@ -37,11 +45,13 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/ingest"
 	"repro/internal/trace"
 )
 
@@ -55,7 +65,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("syndogd", flag.ContinueOnError)
 	var (
-		in         = fs.String("in", "", "input trace (binary format)")
+		in         = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, or .pcap (streamed)")
+		prefixStr  = fs.String("prefix", "", "stub prefix for pcap direction inference (e.g. 152.2.0.0/16)")
+		detector   = fs.String("detector", "", "decision rule: "+strings.Join(ingest.DetectorNames(), ", ")+" (default syndog-cusum)")
 		listen     = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
 		speed      = fs.Float64("speed", 0, "trace seconds replayed per wall second (0 = instant)")
 		t0         = fs.Duration("t0", 20*time.Second, "observation period")
@@ -73,31 +85,85 @@ func run(args []string) error {
 	if *checkpoint > 0 && *statePath == "" {
 		return errors.New("-checkpoint needs -state")
 	}
-
-	// Validate once at the door; both replay paths then trust the
-	// trace's invariants.
-	tr, err := trace.LoadValidated(*in, netip.Prefix{})
-	if err != nil {
-		return err
+	cusum := *detector == "" || *detector == "syndog-cusum"
+	if *statePath != "" && !cusum {
+		return fmt.Errorf("-state needs the syndog-cusum detector, not %q (baselines carry no snapshot state)", *detector)
+	}
+	var prefix netip.Prefix
+	if *prefixStr != "" {
+		var err error
+		if prefix, err = netip.ParsePrefix(*prefixStr); err != nil {
+			return fmt.Errorf("prefix: %w", err)
+		}
 	}
 
 	cfg := core.Config{T0: *t0, Offset: *offset, Threshold: *threshold}
-	agent, resumed, err := daemon.LoadOrNewAgent(*statePath, cfg)
-	if err != nil {
-		return err
-	}
-	if resumed {
-		fmt.Fprintf(os.Stderr, "syndogd: resumed from %s (%d periods, K-bar %.1f)\n",
-			*statePath, len(agent.Reports()), agent.KBar())
+	effT0 := *t0
+	var det ingest.Detector
+	if cusum {
+		agent, resumed, err := daemon.LoadOrNewAgent(*statePath, cfg)
+		if err != nil {
+			return err
+		}
+		if resumed {
+			fmt.Fprintf(os.Stderr, "syndogd: resumed from %s (%d periods, K-bar %.1f)\n",
+				*statePath, len(agent.Reports()), agent.KBar())
+		}
+		det = ingest.WrapAgent(agent)
+		effT0 = agent.Config().T0
+	} else {
+		var err error
+		if det, err = ingest.NewDetector(*detector, ingest.DetectorConfig{Agent: cfg}); err != nil {
+			return err
+		}
 	}
 
-	d, err := daemon.New(agent, tr, daemon.Options{
+	opts := daemon.Options{
 		Name:               "syndogd",
 		StatePath:          *statePath,
 		CheckpointInterval: *checkpoint,
-	})
-	if err != nil {
-		return err
+	}
+
+	var d *daemon.Daemon
+	if strings.HasSuffix(*in, ".pcap") {
+		// Streaming pcap: prescan for span and record count, then
+		// replay from a fresh stream — the capture never materializes.
+		if !prefix.IsValid() {
+			return fmt.Errorf("trace: %s needs a stub prefix for direction inference", *in)
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		info, err := ingest.PcapInfo(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		info.Name = *in
+		src, _, err := ingest.Open(*in, prefix)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		if d, err = daemon.NewStream(det, src, info, effT0, opts); err != nil {
+			return err
+		}
+	} else {
+		// Validate once at the door; the replay path then trusts the
+		// trace's invariants.
+		tr, err := trace.LoadValidated(*in, prefix)
+		if err != nil {
+			return err
+		}
+		if tr.Span <= 0 {
+			return fmt.Errorf("daemon: trace %q has no span", tr.Name)
+		}
+		src := ingest.NewTraceSource(tr)
+		info := ingest.Info{Name: tr.Name, Span: tr.Span, Records: len(tr.Records)}
+		if d, err = daemon.NewStream(det, src, info, effT0, opts); err != nil {
+			return err
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,20 @@ func TestRunFlagValidation(t *testing.T) {
 		!strings.Contains(err.Error(), "-state") {
 		t.Error("-checkpoint without -state accepted")
 	}
+	if err := run([]string{"-in", "x.trace", "-detector", "psychic"}); err == nil {
+		t.Error("unknown detector accepted")
+	}
+	if err := run([]string{"-in", "x.trace", "-detector", "adaptive-ewma", "-state", "s.json"}); err == nil ||
+		!strings.Contains(err.Error(), "syndog-cusum") {
+		t.Error("-state with a stateless baseline detector accepted")
+	}
+	if err := run([]string{"-in", "x.pcap"}); err == nil ||
+		!strings.Contains(err.Error(), "stub prefix") {
+		t.Error("pcap without -prefix accepted")
+	}
+	if err := run([]string{"-in", "x.pcap", "-prefix", "not-a-prefix"}); err == nil {
+		t.Error("malformed -prefix accepted")
+	}
 }
 
 func TestRunRejectsInvalidTrace(t *testing.T) {

@@ -34,6 +34,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/experiment"
 	"repro/internal/flood"
+	"repro/internal/ingest"
 	"repro/internal/mitigate"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -171,10 +173,17 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 	}
 	destinations := append([]netip.Addr{victim.Addr}, responders...)
 
-	// Stubs, agents, slaves.
+	// Stubs, agents, slaves. Each leaf router taps into a live
+	// ChanSource feeding an ingest pipeline in its own goroutine — the
+	// same Source → Aggregate → Detect construction the offline tools
+	// use, with the simulator as the packet source instead of a file.
+	horizon := cfg.onset + cfg.duration + time.Minute
 	perStub := cfg.totalRate / float64(cfg.flooders)
 	master := flood.NewMaster()
 	reports := make([]*stubReport, cfg.stubs)
+	sources := make([]*ingest.ChanSource, cfg.stubs)
+	pipeErrs := make([]error, cfg.stubs)
+	var wg sync.WaitGroup
 	for i := 0; i < cfg.stubs; i++ {
 		prefix := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/24", i+1))
 		sn, err := netsim.BuildStub(sim, cloud, netsim.StubConfig{
@@ -189,9 +198,27 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 		if sr.agent, err = core.NewAgent(core.Config{T0: cfg.t0}); err != nil {
 			return err
 		}
-		if _, err = sr.agent.Install(sim, sn.Router); err != nil {
-			return err
+		live := ingest.NewChanSource(1024)
+		sources[i] = live
+		tap := live.Tap()
+		sn.Router.AddTap(func(now time.Duration, dir netsim.Direction, seg *packet.Segment) {
+			// The campaign window is [0, horizon): an event landing
+			// exactly on the horizon belongs to no complete period.
+			if now < horizon {
+				tap(now, dir, seg)
+			}
+		})
+		p := &ingest.Pipeline{
+			Source:   live,
+			Detector: ingest.WrapAgent(sr.agent),
+			T0:       cfg.t0,
+			Span:     horizon,
 		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pipeErrs[i] = p.Run()
+		}(i)
 		if sr.locator, err = mitigate.NewLocator(prefix); err != nil {
 			return err
 		}
@@ -215,7 +242,6 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 					s.TCP.Ack, s.TCP.Seq+1, packet.FlagACK))
 			}
 		}
-		horizon := cfg.onset + cfg.duration + time.Minute
 		gap := time.Duration(float64(time.Second) / cfg.benign)
 		for c := 0; c < int(horizon/gap); c++ {
 			c := c
@@ -245,7 +271,19 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 
 	fmt.Fprintf(w, "fleet: %d stubs (%d flooding), V=%.0f SYN/s (fi=%.1f each), onset %v, duration %v\n\n",
 		cfg.stubs, cfg.flooders, cfg.totalRate, perStub, cfg.onset, cfg.duration)
-	sim.RunUntil(cfg.onset + cfg.duration + time.Minute)
+	sim.RunUntil(horizon)
+
+	// End of campaign: close every live stream and wait for the
+	// pipelines to fold their trailing periods before reading verdicts.
+	for _, src := range sources {
+		src.CloseSend()
+	}
+	wg.Wait()
+	for i, err := range pipeErrs {
+		if err != nil {
+			return fmt.Errorf("stub %d pipeline: %w", i, err)
+		}
+	}
 
 	correct := 0
 	onsetPeriod := int(cfg.onset / cfg.t0)

@@ -313,6 +313,18 @@ func (a *Agent) EndPeriod(now time.Duration) Report {
 	return r
 }
 
+// LoadPeriod closes one observation period from pre-aggregated counts:
+// both sniffers are loaded with the period's per-kind totals and
+// EndPeriod runs as usual. Because EndPeriod consumes only the drained
+// totals, this is bit-identical to Observing each record individually
+// (the ProcessCounts equivalence); the streaming ingest pipeline is
+// built on it.
+func (a *Agent) LoadPeriod(out, in PeriodCounts, end time.Duration) Report {
+	a.outbound.Load(out)
+	a.inbound.Load(in)
+	return a.EndPeriod(end)
+}
+
 // Reports returns all period reports so far. The returned slice is the
 // agent's own backing store; callers must not modify it.
 func (a *Agent) Reports() []Report { return a.reports }

@@ -1,16 +1,16 @@
 // Package daemon is the hardened operational core shared by the
-// long-lived SYN-dog binaries (cmd/syndogd, cmd/syndogfleet): trace
-// replay through a core.Agent — instant or paced against absolute
-// wall-clock deadlines — live HTTP state, and durable snapshot /
-// checkpoint handling.
+// long-lived SYN-dog binaries (cmd/syndogd, cmd/syndogfleet): capture
+// replay through an ingest pipeline — instant or paced against
+// absolute wall-clock deadlines — live HTTP state, and durable
+// snapshot / checkpoint handling.
 //
 // The package exists to make the resume/replay path provably
 // equivalent to a single uninterrupted run, which is what the CUSUM
 // change-point literature assumes of a continuously-running statistic:
 //
-//   - Replay is resume-aware: an agent restored from a snapshot with N
-//     completed periods skips the first N periods of the trace instead
-//     of re-appending them.
+//   - Replay is resume-aware: a detector restored from a snapshot with
+//     N completed periods skips the first N periods of the capture
+//     instead of re-appending them.
 //   - Pacing derives every period boundary from one start instant, so
 //     scheduler latency inside a period does not accumulate into the
 //     next (no chained time.After drift).
@@ -20,6 +20,12 @@
 //   - Snapshots are durable (fsync before rename, directory fsync) and
 //     can be written periodically on a checkpoint interval, so a crash
 //     loses at most one interval of evidence.
+//
+// Replay runs on the ingest pipeline: any ingest.Source (in-memory
+// trace, streaming binary/CSV/pcap/iptrace file) feeds any
+// ingest.Detector (the paper's CUSUM agent or a baseline) through an
+// ingest.Aggregator, so a daemon over a multi-gigabyte pcap holds one
+// record and four counters in memory, never the capture.
 package daemon
 
 import (
@@ -30,16 +36,15 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/netsim"
+	"repro/internal/ingest"
 	"repro/internal/trace"
 )
 
-// Options configures a Daemon beyond its agent and trace.
+// Options configures a Daemon beyond its detector and source.
 type Options struct {
 	// Name prefixes log lines (default "daemon"; cmd/syndogd passes
 	// its own name so operator-facing output is unchanged).
@@ -65,17 +70,23 @@ func (o *Options) applyDefaults() {
 	}
 }
 
-// Daemon owns a core.Agent replaying one trace behind a mutex: the
-// replay goroutine writes, HTTP handlers and checkpoints read.
+// Daemon owns an ingest pipeline replaying one capture behind a mutex:
+// the replay goroutine writes, HTTP handlers and checkpoints read.
 type Daemon struct {
 	opts Options
 
 	mu    sync.Mutex
-	agent *core.Agent
-	tr    *trace.Trace
+	det   ingest.Detector
+	agent *core.Agent // non-nil only for the CUSUM detector; snapshots need it
+	src   ingest.Source
 
-	resumeOffset int // periods already in the agent when the daemon started
-	totalPeriods int // complete periods the trace spans
+	srcName    string
+	srcRecords int // record count when known up front, -1 for pure streams
+	t0         time.Duration
+	span       time.Duration
+
+	resumeOffset int // periods already in the detector when the daemon started
+	totalPeriods int // complete periods the capture spans
 	records      int // records replayed so far (this run)
 	skipped      int // records skipped: their period predates the resume point
 	done         bool
@@ -91,47 +102,79 @@ type Daemon struct {
 // leading periods. New fails on an invalid or too-short trace, or when
 // the agent's history claims more periods than the trace holds (the
 // snapshot cannot have come from this trace/config pairing).
+//
+// New is the materialized-trace convenience over NewStream: the trace
+// becomes an ingest.TraceSource and the agent an ingest.AgentDetector.
 func New(agent *core.Agent, tr *trace.Trace, opts Options) (*Daemon, error) {
-	opts.applyDefaults()
 	if tr.Span <= 0 {
 		return nil, fmt.Errorf("daemon: trace %q has no span", tr.Name)
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("daemon: trace %q: %w", tr.Name, err)
 	}
-	t0 := agent.Config().T0
-	periods := int(tr.Span / t0)
-	if periods == 0 {
-		return nil, fmt.Errorf("daemon: trace %q span %v shorter than one period %v", tr.Name, tr.Span, t0)
-	}
-	resume := len(agent.Reports())
-	if resume > periods {
-		return nil, fmt.Errorf("daemon: snapshot holds %d periods but trace %q spans only %d — wrong trace or state file",
-			resume, tr.Name, periods)
-	}
-	return &Daemon{
-		opts:         opts,
-		agent:        agent,
-		tr:           tr,
-		resumeOffset: resume,
-		totalPeriods: periods,
-	}, nil
+	return NewStream(ingest.WrapAgent(agent), ingest.NewTraceSource(tr),
+		ingest.Info{Name: tr.Name, Span: tr.Span, Records: len(tr.Records)},
+		agent.Config().T0, opts)
 }
 
-// ResumeOffset returns how many periods of the trace are skipped
-// because the agent already reported them before this daemon started.
+// NewStream builds a daemon that replays src through det — the fully
+// streaming constructor. info must carry the capture span (prescan a
+// pcap with ingest.PcapInfo first); info.Records may be -1 when the
+// count is unknown up front. t0 is the observation period — detectors
+// other than the CUSUM agent carry no period of their own.
+//
+// Unlike New, the source's records are validated as they stream:
+// unordered or out-of-span records fail the replay (surfacing via
+// /healthz and Serve's error) rather than failing construction.
+func NewStream(det ingest.Detector, src ingest.Source, info ingest.Info, t0 time.Duration, opts Options) (*Daemon, error) {
+	opts.applyDefaults()
+	if t0 <= 0 {
+		return nil, fmt.Errorf("daemon: non-positive observation period %v", t0)
+	}
+	if info.Span <= 0 {
+		return nil, fmt.Errorf("daemon: trace %q has no span", info.Name)
+	}
+	periods := int(info.Span / t0)
+	if periods == 0 {
+		return nil, fmt.Errorf("daemon: trace %q span %v shorter than one period %v", info.Name, info.Span, t0)
+	}
+	resume := det.Periods()
+	if resume > periods {
+		return nil, fmt.Errorf("daemon: snapshot holds %d periods but trace %q spans only %d — wrong trace or state file",
+			resume, info.Name, periods)
+	}
+	d := &Daemon{
+		opts:         opts,
+		det:          det,
+		src:          src,
+		srcName:      info.Name,
+		srcRecords:   info.Records,
+		t0:           t0,
+		span:         info.Span,
+		resumeOffset: resume,
+		totalPeriods: periods,
+	}
+	if ad, ok := det.(*ingest.AgentDetector); ok {
+		d.agent = ad.Agent()
+	}
+	return d, nil
+}
+
+// ResumeOffset returns how many periods of the capture are skipped
+// because the detector already reported them before this daemon
+// started.
 func (d *Daemon) ResumeOffset() int { return d.resumeOffset }
 
-// TotalPeriods returns how many complete periods the trace spans.
+// TotalPeriods returns how many complete periods the capture spans.
 func (d *Daemon) TotalPeriods() int { return d.totalPeriods }
 
-// Replay feeds the trace through the agent, skipping periods already
-// covered by the agent's history. speed <= 0 replays instantly; a
-// positive speed replays that many trace seconds per wall second,
-// pacing each period boundary against an absolute deadline derived
-// from the replay start instant. The returned error is also recorded
-// in daemon state (visible via /status and /healthz) unless it is the
-// context's cancellation.
+// Replay feeds the source through the detector, skipping periods
+// already covered by the detector's history. speed <= 0 replays
+// instantly; a positive speed replays that many trace seconds per wall
+// second, pacing each period boundary against an absolute deadline
+// derived from the replay start instant. The returned error is also
+// recorded in daemon state (visible via /status and /healthz) unless
+// it is the context's cancellation.
 func (d *Daemon) Replay(ctx context.Context, speed float64) error {
 	err := d.replay(ctx, speed)
 	d.mu.Lock()
@@ -148,17 +191,60 @@ func (d *Daemon) Replay(ctx context.Context, speed float64) error {
 }
 
 func (d *Daemon) replay(ctx context.Context, speed float64) error {
-	t0 := d.agent.Config().T0
-	resumeStart := t0 * time.Duration(d.resumeOffset)
+	agg, err := ingest.NewAggregator(d.t0, d.span, d.det, nil)
+	if err != nil {
+		return err
+	}
+
+	// One-record lookahead over the source: the paced loop must close
+	// each period at its wall-clock deadline without consuming the
+	// first record of the following period.
+	var (
+		pending    trace.Record
+		hasPending bool
+		srcDone    bool
+	)
+	peek := func() (trace.Record, bool, error) {
+		if hasPending {
+			return pending, true, nil
+		}
+		if srcDone {
+			return trace.Record{}, false, nil
+		}
+		r, err := d.src.Next()
+		if err == io.EOF {
+			srcDone = true
+			return trace.Record{}, false, nil
+		}
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		pending, hasPending = r, true
+		return r, true, nil
+	}
 
 	// Records inside already-reported periods were counted before the
-	// snapshot was taken; replaying them would double-count.
-	idx := sort.Search(len(d.tr.Records), func(i int) bool {
-		return d.tr.Records[i].Ts >= resumeStart
-	})
-	d.mu.Lock()
-	d.skipped = idx
-	d.mu.Unlock()
+	// snapshot was taken; replaying them would double-count, so the
+	// aggregator drops them. Drain them before pacing starts so the
+	// skip counter is complete when the first period opens.
+	resumeStart := d.t0 * time.Duration(d.resumeOffset)
+	for {
+		r, ok, err := peek()
+		if err != nil {
+			return err
+		}
+		if !ok || r.Ts >= resumeStart {
+			break
+		}
+		hasPending = false
+		d.mu.Lock()
+		err = agg.Feed(r)
+		d.skipped = agg.Skipped()
+		d.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 
 	var (
 		start     time.Time
@@ -167,7 +253,7 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 	)
 	if speed > 0 {
 		start = time.Now()
-		perPeriod = time.Duration(float64(t0) / speed)
+		perPeriod = time.Duration(float64(d.t0) / speed)
 		timer = time.NewTimer(0)
 		if !timer.Stop() {
 			<-timer.C
@@ -175,7 +261,6 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 		defer timer.Stop()
 	}
 
-	next := resumeStart + t0
 	for p := d.resumeOffset; p < d.totalPeriods; p++ {
 		if speed > 0 {
 			// Drift-free pacing: period p ends at an absolute deadline
@@ -193,29 +278,31 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 			return err
 		}
 		d.mu.Lock()
-		for idx < len(d.tr.Records) && d.tr.Records[idx].Ts < next {
-			r := d.tr.Records[idx]
-			d.agent.Observe(toDir(r.Dir), r.Kind)
-			idx++
-			d.records++
+		for {
+			r, ok, err := peek()
+			if err != nil {
+				d.mu.Unlock()
+				return err
+			}
+			if !ok || r.Ts >= agg.NextBoundary() {
+				break
+			}
+			hasPending = false
+			if err := agg.Feed(r); err != nil {
+				d.mu.Unlock()
+				return err
+			}
+			d.records = agg.Records() - agg.Skipped()
 		}
-		d.agent.EndPeriod(next)
+		agg.ClosePeriod()
 		d.mu.Unlock()
-		next += t0
 	}
 	return nil
 }
 
-func toDir(dir trace.Direction) netsim.Direction {
-	if dir == trace.DirOut {
-		return netsim.Outbound
-	}
-	return netsim.Inbound
-}
-
 // failReplay records err as the replay failure. It exists so tests can
 // exercise the error-surfacing machinery (healthz 503, status field,
-// Serve's non-zero return) without constructing a failing trace.
+// Serve's non-zero return) without constructing a failing source.
 func (d *Daemon) failReplay(err error) {
 	d.mu.Lock()
 	d.replayErr = err
@@ -231,8 +318,13 @@ func (d *Daemon) Serve(ctx context.Context, listen string, speed float64) error 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(d.opts.Log, "%s: serving on http://%s (trace %q, %d records, %d/%d periods done)\n",
-		d.opts.Name, ln.Addr(), d.tr.Name, len(d.tr.Records), d.resumeOffset, d.totalPeriods)
+	if d.srcRecords >= 0 {
+		fmt.Fprintf(d.opts.Log, "%s: serving on http://%s (trace %q, %d records, %d/%d periods done)\n",
+			d.opts.Name, ln.Addr(), d.srcName, d.srcRecords, d.resumeOffset, d.totalPeriods)
+	} else {
+		fmt.Fprintf(d.opts.Log, "%s: serving on http://%s (trace %q, streaming, %d/%d periods done)\n",
+			d.opts.Name, ln.Addr(), d.srcName, d.resumeOffset, d.totalPeriods)
+	}
 
 	srv := &http.Server{Handler: d.Handler()}
 	serveErr := make(chan error, 1)

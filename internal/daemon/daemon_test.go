@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flood"
+	"repro/internal/ingest"
 	"repro/internal/trace"
 )
 
@@ -309,6 +310,106 @@ func TestResumeEquivalence(t *testing.T) {
 		}
 		if !s.ReplayDone {
 			t.Errorf("k=%d: resumed replay not done", k)
+		}
+	}
+
+	// The same invariant must hold on the fully streaming path: a
+	// daemon resumed over a pcap *stream* (never a materialized trace)
+	// lands on the same /reports bytes as an uninterrupted streaming
+	// run. A pcap carries no span header, so the span comes from an
+	// O(1) prescan and covers only provably complete periods.
+	prefix := netip.MustParsePrefix("130.216.0.0/16")
+	pcapPath := filepath.Join(t.TempDir(), "resume.pcap")
+	pf, err := os.Create(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePcap(pf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(pcapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ingest.PcapInfo(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.Name = "resume.pcap"
+
+	runStream := func(agent *core.Agent, inf ingest.Info) *Daemon {
+		t.Helper()
+		src, _, err := ingest.Open(pcapPath, prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		d, err := NewStream(ingest.WrapAgent(agent), src, inf, t0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Replay(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	refAgent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRef := runStream(refAgent, info)
+	wantStream := reportsBody(dRef)
+	streamPeriods := dRef.TotalPeriods()
+	if streamPeriods < 25 {
+		t.Fatalf("pcap prescan found only %d periods", streamPeriods)
+	}
+
+	for _, k := range []int{0, 1, 9, streamPeriods} {
+		// First boot: the daemon ran k periods over the stream, then
+		// stopped. Clipping the span to k periods makes the replay
+		// close exactly k boundaries without reading past them.
+		a1, err := core.NewAgent(core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 0 {
+			clipped := info
+			clipped.Span = time.Duration(k) * t0
+			runStream(a1, clipped)
+		}
+
+		// Second boot: resume the snapshot over a fresh stream.
+		a2, err := core.RestoreAgent(a1.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, _, err := ingest.Open(pcapPath, prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := NewStream(ingest.WrapAgent(a2), src, info, t0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1.ResumeOffset() != k {
+			t.Fatalf("pcap k=%d: resume offset = %d", k, d1.ResumeOffset())
+		}
+		if err := d1.Replay(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := reportsBody(d1); got != wantStream {
+			t.Errorf("pcap k=%d: resumed streaming /reports differ from uninterrupted run", k)
+		}
+		if !d1.Status().ReplayDone {
+			t.Errorf("pcap k=%d: resumed streaming replay not done", k)
 		}
 	}
 }

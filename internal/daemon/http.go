@@ -36,19 +36,19 @@ type Status struct {
 func (d *Daemon) Status() Status {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	reports := d.agent.Reports()
+	reports := d.det.Reports()
 	s := Status{
-		Trace:            d.tr.Name,
+		Trace:            d.srcName,
 		Periods:          len(reports),
 		TotalPeriods:     d.totalPeriods,
 		ResumeOffset:     d.resumeOffset,
 		RecordsProcessed: d.records,
 		RecordsSkipped:   d.skipped,
-		KBar:             d.agent.KBar(),
-		Alarmed:          d.agent.Alarmed(),
+		KBar:             d.det.KBar(),
+		Alarmed:          d.det.Alarmed(),
 		ReplayDone:       d.done,
 		Checkpoints:      d.checkpoints,
-		T0:               d.agent.Config().T0,
+		T0:               d.t0,
 	}
 	if d.replayErr != nil {
 		s.ReplayError = d.replayErr.Error()
@@ -59,7 +59,7 @@ func (d *Daemon) Status() Status {
 		s.LastOutSYN = last.OutSYN
 		s.LastInSYNACK = last.InSYNACK
 	}
-	if al := d.agent.FirstAlarm(); al != nil {
+	if al := d.det.FirstAlarm(); al != nil {
 		s.AlarmPeriod = al.Period
 		s.AlarmAtNanos = int64(al.At)
 	}
@@ -69,11 +69,11 @@ func (d *Daemon) Status() Status {
 	return s
 }
 
-// Reports returns a copy of the agent's period reports.
+// Reports returns a copy of the detector's period reports.
 func (d *Daemon) Reports() []core.Report {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]core.Report(nil), d.agent.Reports()...)
+	return append([]core.Report(nil), d.det.Reports()...)
 }
 
 // Handler builds the daemon's HTTP mux:

@@ -89,9 +89,15 @@ func WriteSnapshotFile(snap core.Snapshot, path string) error {
 
 // SaveState writes the agent's current snapshot to path (typically
 // Options.StatePath). The snapshot is captured under the daemon lock
-// and persisted outside it, so a slow disk never stalls replay.
+// and persisted outside it, so a slow disk never stalls replay. Only
+// the CUSUM agent carries snapshot state; daemons running a baseline
+// detector cannot persist.
 func (d *Daemon) SaveState(path string) error {
 	d.mu.Lock()
+	if d.agent == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: detector %q has no snapshot state", d.det.Name())
+	}
 	snap := d.agent.Snapshot()
 	d.mu.Unlock()
 	return WriteSnapshotFile(snap, path)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/eventsim"
 	"repro/internal/flood"
+	"repro/internal/ingest"
 	"repro/internal/iptrace"
 	"repro/internal/mitigate"
 	"repro/internal/packet"
@@ -367,12 +368,17 @@ func AblationH2A(opts Options) ([]Artifact, error) {
 // AblationBaselines runs SYN-dog's CUSUM rule head-to-head against
 // the baseline detectors of internal/detect on identical per-period
 // observations: a slow-onset flood plus flood-free false-alarm trials.
+// Every rule runs behind the unified ingest.Detector interface, driven
+// by ReplayCounts — the counts fast path of the streaming pipeline.
 func AblationBaselines(opts Options) ([]Artifact, error) {
 	opts.applyDefaults()
 	p := ablationProfile(opts)
 	t0 := core.DefaultObservationPeriod
 
-	mkDetectors := func(kBarGuess float64) ([]detect.Detector, error) {
+	// All four rules — including the CUSUM — wrap the detect-level
+	// implementations so the comparison stays exactly period-for-period
+	// (the agent-level CUSUM adds warmup semantics the baselines lack).
+	mkDetectors := func(kBarGuess float64) ([]ingest.Detector, error) {
 		cus, err := detect.NewCusumDetector(0.35, 1.05, 0.9)
 		if err != nil {
 			return nil, err
@@ -389,14 +395,16 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []detect.Detector{cus, static, ratio, ada}, nil
+		return []ingest.Detector{
+			ingest.WrapBaseline(cus), ingest.WrapBaseline(static),
+			ingest.WrapBaseline(ratio), ingest.WrapBaseline(ada),
+		}, nil
 	}
 
-	// Build per-period observation series from one aggregated
-	// background: the flood-free pass shares the flooded pass's counts,
-	// and the flood rides in as an AddFlood overlay instead of a
-	// record-level merge.
-	series := func(pc *trace.PeriodCounts, seed int64, rate float64) ([]detect.Observation, int, error) {
+	// Build per-period count series from one aggregated background: the
+	// flood-free pass shares the flooded pass's counts, and the flood
+	// rides in as an AddFlood overlay instead of a record-level merge.
+	series := func(pc *trace.PeriodCounts, seed int64, rate float64) (*trace.PeriodCounts, int, error) {
 		onset := 15 * time.Minute
 		if rate > 0 {
 			floodSYN, err := flood.CountPerPeriod(flood.Config{
@@ -409,11 +417,7 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 			}
 			pc = pc.AddFlood(floodSYN)
 		}
-		obs := make([]detect.Observation, pc.Periods())
-		for i := range obs {
-			obs[i] = detect.Observation{OutSYN: pc.OutSYN[i], InSYNACK: pc.InSYNACK[i]}
-		}
-		return obs, int(onset / t0), nil
+		return pc, int(onset / t0), nil
 	}
 
 	table := &Table{
@@ -452,10 +456,12 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 		outs := make([]detOutcome, len(dets))
 		for i, d := range dets {
 			o := detOutcome{name: d.Name()}
-			res := detect.Run(d, flooded)
-			if res.FirstAlarm >= onsetPeriod {
+			if err := ingest.ReplayCounts(d, flooded); err != nil {
+				return nil, err
+			}
+			if al := d.FirstAlarm(); al != nil && al.Period >= onsetPeriod {
 				o.detected = true
-				o.delay = float64(res.FirstAlarm - onsetPeriod)
+				o.delay = float64(al.Period - onsetPeriod)
 			}
 			outs[i] = o
 		}
@@ -465,7 +471,10 @@ func AblationBaselines(opts Options) ([]Artifact, error) {
 			return nil, err
 		}
 		for i, d := range dets {
-			outs[i].falseAlarm = detect.Run(d, quiet).FirstAlarm >= 0
+			if err := ingest.ReplayCounts(d, quiet); err != nil {
+				return nil, err
+			}
+			outs[i].falseAlarm = d.FirstAlarm() != nil
 		}
 		return outs, nil
 	})

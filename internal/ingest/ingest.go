@@ -1,0 +1,306 @@
+// Package ingest defines the layered streaming pipeline the paper's
+// Figure 2 describes: a Source yields classified packet records one at
+// a time, the Aggregator folds them into per-period counts, and a
+// Detector turns each closed period into a detection decision. Every
+// binary and experiment constructs the same pipeline with different
+// sources and detectors:
+//
+//	Source → (Classify) → Aggregate → Detect → Sink
+//
+// Classification happens inside the packet-backed sources (pcap,
+// iptrace, live taps) via internal/packet; record-backed sources
+// (binary, CSV, in-memory traces) carry the kind already. The whole
+// path is O(1) in trace length: nothing past the current record and
+// the current period's four counters is retained, which is what lets
+// the daemon ingest captures larger than memory.
+//
+// The pipeline is bit-identical to core.Agent.ProcessTrace: the
+// Aggregator mirrors its skip/boundary/tail logic exactly, and the
+// CUSUM detector folds periods through the same EndPeriod the record
+// path uses (see the ProcessCounts equivalence note in internal/core).
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// Source is a pull iterator over classified packet records. Next
+// returns io.EOF at a clean end of stream. Sources that wrap files
+// release them in Close; Close is safe to call after an error.
+type Source interface {
+	Next() (trace.Record, error)
+	Close() error
+}
+
+// SpanSource is implemented by sources that know the capture span —
+// either up front (binary header, in-memory trace) or only once the
+// stream is exhausted (pcap, iptrace). A zero return means "not yet
+// known"; the pipeline re-queries at EOF.
+type SpanSource interface {
+	Span() time.Duration
+}
+
+// NamedSource is implemented by sources whose container carries a
+// trace name (binary header, CSV header line). Like the span, the name
+// may only be final once the stream is exhausted.
+type NamedSource interface {
+	Name() string
+}
+
+// Period is one closed observation period: per-kind packet counts for
+// each direction plus the period's index and end time.
+type Period struct {
+	Index int
+	End   time.Duration
+	Out   core.PeriodCounts
+	In    core.PeriodCounts
+}
+
+// Detector folds closed periods into a detection decision. It is the
+// unified face of core.Agent's CUSUM and the internal/detect
+// baselines.
+//
+// Periods is the resume offset: a detector restored from a snapshot
+// already holds that many closed periods, and the Aggregator skips the
+// matching leading records — this is what preserves the daemon's
+// byte-identical restart guarantee across the streaming path.
+type Detector interface {
+	// Period folds one closed observation period and returns its
+	// report. Implementations latch their alarm internally.
+	Period(p Period) core.Report
+	// Periods returns how many periods have been folded so far.
+	Periods() int
+	// Reports returns all period reports so far (the implementation's
+	// backing store; callers must not modify it).
+	Reports() []core.Report
+	// Alarmed reports whether the latched alarm has fired.
+	Alarmed() bool
+	// FirstAlarm returns the first alarm, or nil if none fired.
+	FirstAlarm() *core.Alarm
+	// KBar returns the current traffic baseline, 0 for detectors that
+	// keep none.
+	KBar() float64
+	// Name identifies the decision rule.
+	Name() string
+}
+
+// Sink receives each period report as it closes. Nil sinks are
+// allowed.
+type Sink func(core.Report)
+
+// Aggregator is the push-side period folder: Feed it time-ordered
+// records and it counts them into the current period, closing each
+// period boundary through the Detector. Its skip/boundary/tail
+// behavior mirrors core.Agent.ProcessTrace exactly, so the two paths
+// produce bit-identical reports.
+type Aggregator struct {
+	t0   time.Duration
+	det  Detector
+	sink Sink
+
+	span    time.Duration // 0 while unknown
+	periods int           // span / t0; -1 while span unknown
+	done    int
+	next    time.Duration // end of the current open period
+	resumed time.Duration // records before this were counted pre-snapshot
+
+	out, in core.PeriodCounts
+
+	lastTs    time.Duration
+	sawRecord bool
+	records   int
+	skipped   int
+}
+
+// NewAggregator builds an aggregator folding periods of t0 into det.
+// span may be 0 when the source only learns it at EOF (pcap); pass the
+// final value to Finish instead. The detector's existing period count
+// becomes the resume offset.
+func NewAggregator(t0 time.Duration, span time.Duration, det Detector, sink Sink) (*Aggregator, error) {
+	if t0 <= 0 {
+		return nil, errors.New("ingest: non-positive observation period")
+	}
+	if span < 0 {
+		return nil, errors.New("ingest: negative span")
+	}
+	a := &Aggregator{
+		t0:      t0,
+		det:     det,
+		sink:    sink,
+		periods: -1,
+		done:    det.Periods(),
+	}
+	a.resumed = t0 * time.Duration(a.done)
+	a.next = a.resumed + t0
+	if span > 0 {
+		a.span = span
+		a.periods = int(span / t0)
+	}
+	return a, nil
+}
+
+// Feed counts one record, closing any period boundaries it crosses.
+// Records must arrive in time order; records inside already-resumed
+// periods are skipped, and records past the last complete period are
+// ignored (the trailing partial period is discarded, mirroring
+// trace.Aggregate).
+func (a *Aggregator) Feed(r trace.Record) error {
+	if r.Ts < 0 {
+		return fmt.Errorf("ingest: record with negative timestamp %v", r.Ts)
+	}
+	if a.sawRecord && r.Ts < a.lastTs {
+		return fmt.Errorf("ingest: record at %v out of order (previous at %v)", r.Ts, a.lastTs)
+	}
+	if a.span > 0 && r.Ts >= a.span {
+		return fmt.Errorf("ingest: record at %v outside span %v", r.Ts, a.span)
+	}
+	a.lastTs, a.sawRecord = r.Ts, true
+	a.records++
+	if r.Ts < a.resumed {
+		a.skipped++
+		return nil
+	}
+	for r.Ts >= a.next && (a.periods < 0 || a.done < a.periods) {
+		a.closePeriod()
+	}
+	if a.periods >= 0 && a.done >= a.periods {
+		return nil // past the last complete period
+	}
+	a.count(r)
+	return nil
+}
+
+// count adds one record to the open period's counters. KindOther and
+// KindNotTCP records are ignored, exactly as Sniffer.Count tallies
+// nothing observable for them.
+func (a *Aggregator) count(r trace.Record) {
+	pc := &a.out
+	if r.Dir == trace.DirIn {
+		pc = &a.in
+	}
+	switch r.Kind {
+	case packet.KindSYN:
+		pc.SYN++
+	case packet.KindSYNACK:
+		pc.SYNACK++
+	case packet.KindFIN:
+		pc.FIN++
+	case packet.KindRST:
+		pc.RST++
+	}
+}
+
+// closePeriod folds the open period into the detector and starts the
+// next one.
+func (a *Aggregator) closePeriod() {
+	p := Period{Index: a.done, End: a.next, Out: a.out, In: a.in}
+	a.out, a.in = core.PeriodCounts{}, core.PeriodCounts{}
+	rep := a.det.Period(p)
+	if a.sink != nil {
+		a.sink(rep)
+	}
+	a.next += a.t0
+	a.done++
+}
+
+// ClosePeriod forces the open period shut at its boundary regardless
+// of record arrival — the paced daemon closes periods on wall-clock
+// deadlines, not on the first record of the next period.
+func (a *Aggregator) ClosePeriod() {
+	a.closePeriod()
+}
+
+// NextBoundary returns the end time of the currently open period.
+func (a *Aggregator) NextBoundary() time.Duration { return a.next }
+
+// Finish fires the trailing empty periods out to span and validates
+// that no record fell beyond it. Pass the span learned at EOF; 0 means
+// the aggregator's own (construction-time) span, and having neither is
+// an error.
+func (a *Aggregator) Finish(span time.Duration) error {
+	if span == 0 {
+		span = a.span
+	}
+	if span <= 0 {
+		return errors.New("ingest: source has no span")
+	}
+	if a.span > 0 && span != a.span {
+		return fmt.Errorf("ingest: span changed from %v to %v", a.span, span)
+	}
+	if a.sawRecord && a.lastTs >= span {
+		return fmt.Errorf("ingest: record at %v outside span %v", a.lastTs, span)
+	}
+	periods := int(span / a.t0)
+	if periods == 0 {
+		return fmt.Errorf("ingest: span %v shorter than one period %v", span, a.t0)
+	}
+	for a.done < periods {
+		a.closePeriod()
+	}
+	return nil
+}
+
+// Records returns how many records were fed (counted plus skipped).
+func (a *Aggregator) Records() int { return a.records }
+
+// Skipped returns how many records fell inside already-resumed periods.
+func (a *Aggregator) Skipped() int { return a.skipped }
+
+// Done returns how many periods have closed, including resumed ones.
+func (a *Aggregator) Done() int { return a.done }
+
+// Pipeline wires a Source to a Detector through an Aggregator and
+// runs it to completion. This is the one construction every binary
+// shares; only Source and Detector vary.
+type Pipeline struct {
+	Source   Source
+	Detector Detector
+	// T0 is the observation period.
+	T0 time.Duration
+	// Span overrides the source's span. Leave 0 to take it from the
+	// source (required when the source is not a SpanSource).
+	Span time.Duration
+	// Sink, if set, receives each period report as it closes.
+	Sink Sink
+}
+
+// Run drains the source through the aggregator and finishes the tail.
+// The source is not closed; the caller owns it.
+func (p *Pipeline) Run() error {
+	span := p.Span
+	if span == 0 {
+		if ss, ok := p.Source.(SpanSource); ok {
+			span = ss.Span()
+		}
+	}
+	agg, err := NewAggregator(p.T0, span, p.Detector, p.Sink)
+	if err != nil {
+		return err
+	}
+	for {
+		r, err := p.Source.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := agg.Feed(r); err != nil {
+			return err
+		}
+	}
+	finalSpan := time.Duration(0)
+	if span == 0 {
+		if ss, ok := p.Source.(SpanSource); ok {
+			finalSpan = ss.Span()
+		}
+	}
+	return agg.Finish(finalSpan)
+}

@@ -1,0 +1,178 @@
+package iptrace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file implements a capture container in the AIX iptrace 2.0
+// style (the format tcpdump/wireshark call "iptrace"): an 11-byte
+// ASCII magic followed by length-prefixed records whose fixed header
+// carries the timestamp, interface type and — unlike pcap — a
+// transmit/receive flag, which lets SYN-dog recover packet direction
+// without a stub-prefix heuristic. Only the subset the pipeline needs
+// is modeled: big-endian fields, raw IPv4 payloads.
+//
+//	magic   [11]byte "iptrace 2.0"
+//	records, each:
+//	  recLen  uint32  bytes after this field (fixedHeaderLen + payload)
+//	  tv_sec  uint32
+//	  tv_nsec uint32
+//	  if_type uint8
+//	  tx_flag uint8   1 = transmitted (outbound), 0 = received
+//	  _       uint16  reserved
+//	  if_loop uint32
+//	  payload raw IPv4 bytes
+
+const (
+	captureMagic   = "iptrace 2.0"
+	fixedHeaderLen = 16
+	// maxCaptureRecord caps per-record allocation: a forged length
+	// field must not drive memory use (same guard as pcapng).
+	maxCaptureRecord = 16 << 20
+)
+
+// Capture-format errors, mirroring the pcapng codec's.
+var (
+	ErrCaptureBadMagic  = errors.New("iptrace: bad magic")
+	ErrCaptureTruncated = errors.New("iptrace: truncated capture")
+)
+
+// CapturePacket is one record of an iptrace capture.
+type CapturePacket struct {
+	// Ts is the capture timestamp relative to an arbitrary epoch.
+	Ts time.Duration
+	// Tx reports whether the interface transmitted the packet
+	// (outbound); false means it was received (inbound).
+	Tx bool
+	// Data is the raw IPv4 packet.
+	Data []byte
+}
+
+// CaptureWriter emits an iptrace capture stream.
+type CaptureWriter struct {
+	w       io.Writer
+	scratch []byte
+}
+
+// NewCaptureWriter writes the magic and returns a writer.
+func NewCaptureWriter(w io.Writer) (*CaptureWriter, error) {
+	if _, err := io.WriteString(w, captureMagic); err != nil {
+		return nil, fmt.Errorf("iptrace: write magic: %w", err)
+	}
+	return &CaptureWriter{w: w}, nil
+}
+
+// Write appends one record.
+func (w *CaptureWriter) Write(p CapturePacket) error {
+	if len(p.Data) > maxCaptureRecord-fixedHeaderLen {
+		return fmt.Errorf("iptrace: packet of %d bytes exceeds record cap", len(p.Data))
+	}
+	need := 4 + fixedHeaderLen + len(p.Data)
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	buf := w.scratch[:need]
+	binary.BigEndian.PutUint32(buf[0:4], uint32(fixedHeaderLen+len(p.Data)))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(p.Ts/time.Second))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(p.Ts%time.Second))
+	buf[12] = 1 // if_type: ethernet-ish; informational only
+	if p.Tx {
+		buf[13] = 1
+	} else {
+		buf[13] = 0
+	}
+	buf[14], buf[15] = 0, 0                   // reserved
+	binary.BigEndian.PutUint32(buf[16:20], 0) // if_loop
+	copy(buf[20:], p.Data)
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("iptrace: write record: %w", err)
+	}
+	return nil
+}
+
+// CaptureReader decodes an iptrace capture stream.
+type CaptureReader struct {
+	r       io.Reader
+	scratch []byte
+}
+
+// NewCaptureReader checks the magic and returns a reader.
+func NewCaptureReader(r io.Reader) (*CaptureReader, error) {
+	var magic [len(captureMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, captureTrunc(err)
+	}
+	if string(magic[:]) != captureMagic {
+		return nil, ErrCaptureBadMagic
+	}
+	return &CaptureReader{r: r}, nil
+}
+
+// Next returns the next record, io.EOF at a clean end of stream, or
+// ErrCaptureTruncated when the stream ends inside a record. The
+// packet's Data aliases an internal buffer that the next call
+// overwrites; copy it to retain.
+func (r *CaptureReader) Next() (CapturePacket, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return CapturePacket{}, io.EOF
+		}
+		return CapturePacket{}, captureTrunc(err)
+	}
+	recLen := binary.BigEndian.Uint32(lenBuf[:])
+	if recLen < fixedHeaderLen {
+		return CapturePacket{}, fmt.Errorf("iptrace: record length %d shorter than fixed header", recLen)
+	}
+	if recLen > maxCaptureRecord {
+		return CapturePacket{}, fmt.Errorf("iptrace: record length %d exceeds sanity cap", recLen)
+	}
+	if cap(r.scratch) < int(recLen) {
+		r.scratch = make([]byte, recLen)
+	}
+	buf := r.scratch[:recLen]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return CapturePacket{}, captureTrunc(err)
+	}
+	sec := binary.BigEndian.Uint32(buf[0:4])
+	nsec := binary.BigEndian.Uint32(buf[4:8])
+	if nsec >= 1e9 {
+		return CapturePacket{}, fmt.Errorf("iptrace: tv_nsec %d out of range", nsec)
+	}
+	return CapturePacket{
+		Ts:   time.Duration(sec)*time.Second + time.Duration(nsec),
+		Tx:   buf[9] == 1,
+		Data: buf[fixedHeaderLen:],
+	}, nil
+}
+
+// ReadAllCapture drains the stream into a slice, copying each payload.
+func ReadAllCapture(r io.Reader) ([]CapturePacket, error) {
+	cr, err := NewCaptureReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []CapturePacket
+	for {
+		p, err := cr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		p.Data = append([]byte(nil), p.Data...)
+		out = append(out, p)
+	}
+}
+
+func captureTrunc(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrCaptureTruncated
+	}
+	return err
+}

@@ -1,0 +1,113 @@
+package iptrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func sampleCapture(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewCaptureWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []CapturePacket{
+		{Ts: 100 * time.Millisecond, Tx: true, Data: []byte{0x45, 1, 2, 3}},
+		{Ts: 1500 * time.Millisecond, Tx: false, Data: []byte{0x45, 9}},
+		{Ts: 2 * time.Second, Tx: true, Data: nil},
+	}
+	for _, p := range pkts {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	data := sampleCapture(t)
+	got, err := ReadAllCapture(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CapturePacket{
+		{Ts: 100 * time.Millisecond, Tx: true, Data: []byte{0x45, 1, 2, 3}},
+		{Ts: 1500 * time.Millisecond, Tx: false, Data: []byte{0x45, 9}},
+		{Ts: 2 * time.Second, Tx: true, Data: []byte{}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d packets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Ts != want[i].Ts || got[i].Tx != want[i].Tx || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("packet %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCaptureReaderReuseSemantics(t *testing.T) {
+	data := sampleCapture(t)
+	r, err := NewCaptureReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), first.Data...)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// first.Data aliases the internal buffer and is documented to be
+	// overwritten; the copy must still hold the original bytes.
+	if !bytes.Equal(saved, []byte{0x45, 1, 2, 3}) {
+		t.Errorf("saved copy corrupted: % x", saved)
+	}
+}
+
+func TestCaptureBadMagic(t *testing.T) {
+	if _, err := NewCaptureReader(bytes.NewReader([]byte("iptrace 9.9xxxx"))); !errors.Is(err, ErrCaptureBadMagic) {
+		t.Errorf("err = %v, want ErrCaptureBadMagic", err)
+	}
+	if _, err := NewCaptureReader(bytes.NewReader([]byte("ipt"))); !errors.Is(err, ErrCaptureTruncated) {
+		t.Errorf("short magic: err = %v, want ErrCaptureTruncated", err)
+	}
+}
+
+func TestCaptureTruncatedRecord(t *testing.T) {
+	data := sampleCapture(t)
+	for cut := len(captureMagic) + 1; cut < len(data); cut += 7 {
+		r, err := NewCaptureReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, err := r.Next()
+			if err == nil {
+				continue
+			}
+			if err != io.EOF && !errors.Is(err, ErrCaptureTruncated) {
+				t.Fatalf("cut %d: err = %v", cut, err)
+			}
+			break
+		}
+	}
+}
+
+func TestCaptureRejectsBogusLengths(t *testing.T) {
+	// recLen shorter than the fixed header.
+	short := append([]byte(captureMagic), 0, 0, 0, 4)
+	if _, err := ReadAllCapture(bytes.NewReader(short)); err == nil {
+		t.Error("want error for recLen < fixed header")
+	}
+	// recLen above the sanity cap must error before allocating.
+	huge := append([]byte(captureMagic), 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadAllCapture(bytes.NewReader(huge)); err == nil {
+		t.Error("want error for oversized recLen")
+	}
+}

@@ -1,0 +1,64 @@
+package iptrace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzCaptureReader mirrors pcapng's FuzzReader: the capture parser
+// must never panic, and any stream it fully accepts must survive a
+// write/read round trip.
+func FuzzCaptureReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewCaptureWriter(&buf)
+	_ = w.Write(CapturePacket{Ts: time.Second, Tx: true, Data: []byte{0x45, 1, 2}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(captureMagic))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		pkts, err := ReadAllCapture(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w, err := NewCaptureWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			if err := w.Write(p); err != nil {
+				t.Fatalf("re-write failed: %v", err)
+			}
+		}
+		back, err := ReadAllCapture(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(back) != len(pkts) {
+			t.Fatalf("round trip kept %d of %d packets", len(back), len(pkts))
+		}
+	})
+}
+
+// FuzzCaptureReaderStreaming asserts incremental Next calls terminate.
+func FuzzCaptureReaderStreaming(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewCaptureWriter(&buf)
+	_ = w.Write(CapturePacket{Data: []byte{9}})
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewCaptureReader(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100000; i++ {
+			_, err := r.Next()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+		t.Fatal("reader did not terminate")
+	})
+}

@@ -1,0 +1,89 @@
+package pcapng
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// ipv4Frame is a minimal IPv4 header (version 4, IHL 5) that the
+// classifier would accept as the start of a packet.
+var ipv4Frame = []byte{0x45, 0x00, 0x00, 0x14, 0, 0, 0, 0, 64, 6, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2}
+
+func ethFrame(etherType uint16, tags []uint16, payload []byte) []byte {
+	frame := make([]byte, 0, 14+4*len(tags)+len(payload))
+	frame = append(frame, make([]byte, 12)...) // dst+src MAC
+	for _, tag := range tags {
+		frame = append(frame, byte(tag>>8), byte(tag)) // TPID
+		frame = append(frame, 0x00, 0x01)              // TCI
+	}
+	frame = append(frame, byte(etherType>>8), byte(etherType))
+	return append(frame, payload...)
+}
+
+func TestLinkPayloadRaw(t *testing.T) {
+	got, err := LinkPayload(LinkTypeRaw, ipv4Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ipv4Frame) {
+		t.Error("raw payload altered")
+	}
+}
+
+// TestLinkPayloadEthernet is the regression test for the Ethernet
+// footgun: the MAC header must be stripped so classification never
+// parses a MAC address as an IP header.
+func TestLinkPayloadEthernet(t *testing.T) {
+	frame := ethFrame(0x0800, nil, ipv4Frame)
+	got, err := LinkPayload(LinkTypeEthernet, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ipv4Frame) {
+		t.Errorf("ethernet payload = % x, want the IPv4 header", got)
+	}
+	if got[0]>>4 != 4 {
+		t.Error("payload does not start at the IP version nibble")
+	}
+}
+
+func TestLinkPayloadVLAN(t *testing.T) {
+	cases := []struct {
+		name string
+		tags []uint16
+	}{
+		{"single 802.1Q", []uint16{0x8100}},
+		{"QinQ", []uint16{0x88a8, 0x8100}},
+		{"double 802.1Q", []uint16{0x8100, 0x8100}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := ethFrame(0x0800, tc.tags, ipv4Frame)
+			got, err := LinkPayload(LinkTypeEthernet, frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, ipv4Frame) {
+				t.Errorf("VLAN payload = % x, want the IPv4 header", got)
+			}
+		})
+	}
+}
+
+func TestLinkPayloadRejects(t *testing.T) {
+	if _, err := LinkPayload(LinkTypeEthernet, ethFrame(0x0806, nil, []byte{0, 0})); !errors.Is(err, ErrNotIPv4) {
+		t.Errorf("ARP frame: err = %v, want ErrNotIPv4", err)
+	}
+	if _, err := LinkPayload(LinkTypeEthernet, make([]byte, 10)); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short frame: err = %v, want ErrShortFrame", err)
+	}
+	// A truncated frame that ends inside a VLAN tag.
+	trunc := ethFrame(0x8100, nil, nil)
+	if _, err := LinkPayload(LinkTypeEthernet, trunc); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("truncated VLAN tag: err = %v, want ErrShortFrame", err)
+	}
+	if _, err := LinkPayload(147, ipv4Frame); !errors.Is(err, ErrUnknownLink) {
+		t.Errorf("unknown link: err = %v, want ErrUnknownLink", err)
+	}
+}

@@ -22,10 +22,58 @@ import (
 const (
 	// LinkTypeRaw means packets begin with the IP header (DLT_RAW=101).
 	LinkTypeRaw = 101
-	// LinkTypeEthernet is accepted on read; the 14-byte MAC header is
-	// preserved in Packet.Data for the caller to skip.
+	// LinkTypeEthernet is accepted on read; use LinkPayload to strip
+	// the 14-byte MAC header (and any VLAN tags) so classification
+	// never parses a MAC address as an IP header.
 	LinkTypeEthernet = 1
 )
+
+// Ethernet framing constants for LinkPayload.
+const (
+	ethHeaderLen  = 14
+	vlanTagLen    = 4
+	etherTypeIPv4 = 0x0800
+	etherTypeVLAN = 0x8100 // 802.1Q
+	etherTypeQinQ = 0x88a8 // 802.1ad service tag
+)
+
+// LinkPayload errors.
+var (
+	ErrUnknownLink = errors.New("pcapng: unsupported link type")
+	ErrShortFrame  = errors.New("pcapng: frame shorter than its link header")
+	ErrNotIPv4     = errors.New("pcapng: frame does not carry IPv4")
+)
+
+// LinkPayload returns the network-layer (IPv4) payload of one captured
+// frame given the capture's link type. LINKTYPE_RAW frames are returned
+// unchanged; Ethernet frames have the 14-byte MAC header and any 802.1Q
+// / 802.1ad VLAN tags stripped, and frames whose final EtherType is not
+// IPv4 yield ErrNotIPv4. The returned slice aliases data.
+func LinkPayload(linkType uint32, data []byte) ([]byte, error) {
+	switch linkType {
+	case LinkTypeRaw:
+		return data, nil
+	case LinkTypeEthernet:
+		if len(data) < ethHeaderLen {
+			return nil, ErrShortFrame
+		}
+		etherType := uint16(data[12])<<8 | uint16(data[13])
+		off := ethHeaderLen
+		for etherType == etherTypeVLAN || etherType == etherTypeQinQ {
+			if len(data) < off+vlanTagLen {
+				return nil, ErrShortFrame
+			}
+			etherType = uint16(data[off+2])<<8 | uint16(data[off+3])
+			off += vlanTagLen
+		}
+		if etherType != etherTypeIPv4 {
+			return nil, ErrNotIPv4
+		}
+		return data[off:], nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLink, linkType)
+	}
+}
 
 const (
 	magicMicro        = 0xa1b2c3d4
@@ -116,6 +164,8 @@ type Reader struct {
 	nano     bool
 	linkType uint32
 	snapLen  uint32
+	scratch  []byte                // NextReuse buffer
+	hdr      [recordHeaderLen]byte // record-header buffer, kept off the per-call stack
 }
 
 // NewReader parses the file header and returns a Reader.
@@ -150,18 +200,31 @@ func (r *Reader) LinkType() uint32 { return r.linkType }
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
 // Next returns the next packet, or io.EOF at a clean end of stream.
-// A partially written trailing record yields ErrTruncated.
+// A partially written trailing record yields ErrTruncated. The packet's
+// Data is freshly allocated and remains valid indefinitely.
 func (r *Reader) Next() (Packet, error) {
-	var hdr [recordHeaderLen]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+	return r.next(false)
+}
+
+// NextReuse is Next with an amortized-zero-allocation contract: the
+// returned Packet's Data aliases an internal scratch buffer that the
+// following NextReuse (or Next) call overwrites. Streaming consumers
+// that classify and drop each packet before pulling the next one — the
+// ingest pipeline — use it to keep per-record allocation O(1).
+func (r *Reader) NextReuse() (Packet, error) {
+	return r.next(true)
+}
+
+func (r *Reader) next(reuse bool) (Packet, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
 		if err == io.EOF {
 			return Packet{}, io.EOF
 		}
 		return Packet{}, errTrunc(err)
 	}
-	sec := r.order.Uint32(hdr[0:4])
-	frac := r.order.Uint32(hdr[4:8])
-	capLen := r.order.Uint32(hdr[8:12])
+	sec := r.order.Uint32(r.hdr[0:4])
+	frac := r.order.Uint32(r.hdr[4:8])
+	capLen := r.order.Uint32(r.hdr[8:12])
 	if r.snapLen > 0 && capLen > r.snapLen {
 		return Packet{}, fmt.Errorf("pcapng: record length %d exceeds snaplen %d", capLen, r.snapLen)
 	}
@@ -172,7 +235,15 @@ func (r *Reader) Next() (Packet, error) {
 	if capLen > maxRecord {
 		return Packet{}, fmt.Errorf("pcapng: record length %d exceeds sanity cap", capLen)
 	}
-	data := make([]byte, capLen)
+	var data []byte
+	if reuse {
+		if cap(r.scratch) < int(capLen) {
+			r.scratch = make([]byte, capLen)
+		}
+		data = r.scratch[:capLen]
+	} else {
+		data = make([]byte, capLen)
+	}
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		return Packet{}, errTrunc(err)
 	}

@@ -74,54 +74,31 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a binary trace stream.
+// ReadBinary parses a binary trace stream. It is a collect loop over
+// BinaryStream; use the stream directly for O(1)-memory ingestion.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, wrapTrunc(err)
+	s, err := NewBinaryStream(r)
+	if err != nil {
+		return nil, err
 	}
-	if magic != binaryMagic {
-		return nil, ErrBadMagic
-	}
-	var hdr [12]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, wrapTrunc(err)
-	}
-	span := time.Duration(binary.LittleEndian.Uint64(hdr[0:8]))
-	count := binary.LittleEndian.Uint32(hdr[8:12])
-	var nameLen [2]byte
-	if _, err := io.ReadFull(br, nameLen[:]); err != nil {
-		return nil, wrapTrunc(err)
-	}
-	name := make([]byte, binary.LittleEndian.Uint16(nameLen[:]))
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, wrapTrunc(err)
-	}
-	t := &Trace{Name: string(name), Span: span}
+	t := &Trace{Name: s.Name(), Span: s.Span()}
 	// Pre-size from the header but cap the trust: a forged count must
 	// not let a tiny input allocate gigabytes (found by FuzzReadBinary).
-	preAlloc := count
+	preAlloc := s.Count()
 	if preAlloc > 1<<16 {
 		preAlloc = 1 << 16
 	}
 	t.Records = make([]Record, 0, preAlloc)
-	var rec [recordWireLen]byte
-	for i := uint32(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, wrapTrunc(err)
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			return t, nil
 		}
-		t.Records = append(t.Records, Record{
-			Ts:      time.Duration(binary.LittleEndian.Uint64(rec[0:8])),
-			Kind:    packet.Kind(rec[8]),
-			Dir:     Direction(rec[9]),
-			Src:     netip.AddrFrom4([4]byte(rec[10:14])),
-			Dst:     netip.AddrFrom4([4]byte(rec[14:18])),
-			SrcPort: binary.LittleEndian.Uint16(rec[18:20]),
-			DstPort: binary.LittleEndian.Uint16(rec[20:22]),
-		})
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
 	}
-	return t, nil
 }
 
 func wrapTrunc(err error) error {
@@ -152,36 +129,23 @@ func WriteCSV(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses the text format produced by WriteCSV.
+// ReadCSV parses the text format produced by WriteCSV. It is a collect
+// loop over CSVStream; use the stream directly for O(1)-memory
+// ingestion.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	s := NewCSVStream(r)
 	t := &Trace{}
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-			continue
-		case strings.HasPrefix(line, "# trace "):
-			if err := parseCSVHeader(t, line); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			continue
-		case strings.HasPrefix(line, "#") || strings.HasPrefix(line, "ts_ns"):
-			continue
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			t.Name, t.Span = s.Name(), s.Span()
+			return t, nil
 		}
-		rec, err := parseCSVRecord(line)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return nil, err
 		}
 		t.Records = append(t.Records, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return t, nil
 }
 
 func parseCSVHeader(t *Trace, line string) error {

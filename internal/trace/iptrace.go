@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"io"
+
+	"repro/internal/iptrace"
+	"repro/internal/packet"
+)
+
+// WriteIPTrace exports the trace as an iptrace 2.0 capture: each
+// record becomes a minimal IPv4+TCP segment like WritePcap's, but the
+// record header's tx flag carries the direction natively, so reading
+// the capture back needs no stub-prefix heuristic. Timestamps keep
+// full nanosecond precision (unlike pcap's microseconds). KindNotTCP
+// records are skipped.
+func WriteIPTrace(w io.Writer, t *Trace) error {
+	cw, err := iptrace.NewCaptureWriter(w)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, packet.IPv4HeaderLen+packet.TCPHeaderLen)
+	for _, r := range t.Records {
+		flags, ok := kindToFlags(r.Kind)
+		if !ok {
+			continue
+		}
+		seg := packet.Build(r.Src, r.Dst, r.SrcPort, r.DstPort, 0, 0, flags)
+		buf = seg.Marshal(buf[:0])
+		if err := cw.Write(iptrace.CapturePacket{Ts: r.Ts, Tx: r.Dir == DirOut, Data: buf}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

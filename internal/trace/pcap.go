@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"fmt"
 	"io"
 	"net/netip"
 
@@ -44,56 +43,22 @@ func WritePcap(w io.Writer, t *Trace) error {
 // exactly as the leaf-router classifier would ignore them. Ethernet
 // captures are supported by skipping the MAC header.
 func ReadPcap(r io.Reader, name string, stubPrefix netip.Prefix) (*Trace, error) {
-	pr, err := pcapng.NewReader(r)
+	s, err := NewPcapStream(r)
 	if err != nil {
 		return nil, err
 	}
-	var skip int
-	switch pr.LinkType() {
-	case pcapng.LinkTypeRaw:
-		skip = 0
-	case pcapng.LinkTypeEthernet:
-		skip = 14
-	default:
-		return nil, fmt.Errorf("trace: unsupported link type %d", pr.LinkType())
-	}
 	t := &Trace{Name: name}
 	for {
-		p, err := pr.Next()
+		rec, err := s.NextDir(stubPrefix)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		if len(p.Data) < skip {
-			continue
-		}
-		raw := p.Data[skip:]
-		if packet.Classify(raw) == packet.KindNotTCP {
-			continue
-		}
-		var seg packet.Segment
-		if err := seg.Unmarshal(raw); err != nil {
-			continue
-		}
-		dir := DirOut
-		if stubPrefix.Contains(seg.IP.Dst) {
-			dir = DirIn
-		}
-		t.Records = append(t.Records, Record{
-			Ts:      p.Ts,
-			Kind:    seg.Kind(),
-			Dir:     dir,
-			Src:     seg.IP.Src,
-			Dst:     seg.IP.Dst,
-			SrcPort: seg.TCP.SrcPort,
-			DstPort: seg.TCP.DstPort,
-		})
-		if p.Ts >= t.Span {
-			t.Span = p.Ts + 1
-		}
+		t.Records = append(t.Records, rec)
 	}
+	t.Span = s.Span()
 	t.Sort()
 	return t, nil
 }
