@@ -19,8 +19,8 @@ test:
 	$(GO) test ./...
 
 # Full suite under the race detector: exercises the experiment worker
-# pool, the parallel fleet trials, and the syndogd replay/handler
-# locking.
+# pool, the parallel fleet trials, the syndogd replay/handler locking,
+# and the sharded source tracker under concurrent ChanSource feeds.
 race:
 	$(GO) test -race ./...
 
@@ -30,12 +30,12 @@ record:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Root benchmark suite, 6 samples per benchmark, distilled into the
-# committed BENCH_pr4.json baseline (median ns/op, B/op, allocs/op per
+# committed BENCH_pr5.json baseline (median ns/op, B/op, allocs/op per
 # benchmark) so perf changes diff against a recorded trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr4.raw
-	$(GO) run ./cmd/benchjson -o BENCH_pr4.json < BENCH_pr4.raw
-	rm -f BENCH_pr4.raw
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr5.raw
+	$(GO) run ./cmd/benchjson -o BENCH_pr5.json < BENCH_pr5.raw
+	rm -f BENCH_pr5.raw
 
 # Benchmarks across every package, one sample each (no JSON).
 bench-all:
@@ -71,6 +71,7 @@ fuzz:
 	$(GO) test ./internal/pcapng -fuzz '^FuzzReaderStreaming$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReader$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReaderStreaming$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sourcetrack -fuzz '^FuzzKeyedSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -137,5 +138,62 @@ func TestCLIDetectorFlag(t *testing.T) {
 	code, stdout, _ := runCLI(t, "-in", path, "-detector", "static-threshold")
 	if code != 2 {
 		t.Errorf("static-threshold exit code = %d, want 2 (stdout %q)", code, stdout)
+	}
+}
+
+// TestCLITrackSources pins the -track-sources attribution block —
+// format and placement after the aggregate verdict — and that the
+// 0/2 exit contract is untouched by tracking, over every input
+// format. The flood spoofs sources across 240.0.0.0/4, so /8 keying
+// concentrates it onto a handful of alarmed keys.
+func TestCLITrackSources(t *testing.T) {
+	headerRe := regexp.MustCompile(`(?m)^sources: \d+ tracked /8 keys \(max 64, \d+ evicted, \d+ alarmed\)$`)
+	columnsRe := regexp.MustCompile(`(?m)^  rank  source                SYNs  periods        yn  state$`)
+	topRowRe := regexp.MustCompile(`(?m)^     1  2((4\d)|(5[0-5]))\.0\.0\.0/8 +\d+ +\d+ +\d+\.\d{3}  ALARM p\d+$`)
+
+	tr := floodedTrace(t)
+	track := []string{"-track-sources", "-key-bits", "8", "-max-sources", "64"}
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"mixed.trace", nil},
+		{"mixed.csv", nil},
+		{"mixed.pcap", []string{"-prefix", "130.216.0.0/16"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeTempTrace(t, tr, tc.name)
+			args := append([]string{"-in", path}, append(tc.args, track...)...)
+			code, stdout, stderr := runCLI(t, args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr %q)", code, stderr)
+			}
+			alarmAt := strings.Index(stdout, "FLOODING ALARM")
+			sourcesAt := strings.Index(stdout, "sources:")
+			if alarmAt < 0 || sourcesAt < alarmAt {
+				t.Fatalf("attribution must follow the aggregate verdict:\n%s", stdout)
+			}
+			for _, re := range []*regexp.Regexp{headerRe, columnsRe, topRowRe} {
+				if !re.MatchString(stdout) {
+					t.Errorf("stdout missing %v:\n%s", re, stdout)
+				}
+			}
+		})
+	}
+
+	// A quiet trace keeps exit 0 and reports zero alarmed sources.
+	quiet := writeTempTrace(t, benignTrace(t), "bg.trace")
+	code, stdout, _ := runCLI(t, append([]string{"-in", quiet}, track...)...)
+	if code != 0 {
+		t.Fatalf("quiet exit code = %d, want 0", code)
+	}
+	if !regexp.MustCompile(`(?m)^sources: \d+ tracked /8 keys \(max 64, \d+ evicted, 0 alarmed\)$`).MatchString(stdout) {
+		t.Errorf("quiet attribution header wrong:\n%s", stdout)
+	}
+
+	// Keyed flags without -track-sources are a usage error (exit 1).
+	code, _, stderr := runCLI(t, "-in", quiet, "-key-bits", "8")
+	if code != 1 || !strings.Contains(stderr, "-track-sources") {
+		t.Errorf("keyed flags without tracking: code %d stderr %q", code, stderr)
 	}
 }

@@ -12,8 +12,17 @@
 //	syndog -in capture.pcap -prefix 152.2.0.0/16
 //	syndog -in a.csv -a 0.2 -N 0.6          # site-tuned parameters
 //	syndog -in mixed.trace -detector adaptive-ewma
+//	syndog -in mixed.trace -track-sources   # per-source attribution
+//
+// -track-sources runs a keyed CUSUM bank beside the aggregate
+// detector (internal/sourcetrack) and appends a ranked per-source
+// attribution block: which prefixes the flood evidence concentrates
+// on. -key-bits sets the prefix width and -max-sources the bounded
+// number of tracked keys.
 //
 // Exit status: 0 = no alarm, 2 = flooding alarm raised, 1 = error.
+// The exit code is the aggregate detector's verdict; attribution
+// annotates it without changing the contract.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/sourcetrack"
 )
 
 func main() {
@@ -41,14 +51,17 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("syndog", flag.ContinueOnError)
 	var (
-		in        = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, .pcap, .ipt, .txt/.dump")
-		prefixStr = fs.String("prefix", "", "stub prefix for pcap direction inference (e.g. 152.2.0.0/16)")
-		detector  = fs.String("detector", "", "decision rule: "+strings.Join(ingest.DetectorNames(), ", ")+" (default syndog-cusum)")
-		t0        = fs.Duration("t0", 20*time.Second, "observation period")
-		offset    = fs.Float64("a", 0.35, "CUSUM offset a")
-		threshold = fs.Float64("N", 1.05, "flooding threshold N")
-		alpha     = fs.Float64("alpha", 0.9, "EWMA memory for K-bar")
-		verbose   = fs.Bool("v", false, "print every observation period")
+		in         = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, .pcap, .ipt, .txt/.dump")
+		prefixStr  = fs.String("prefix", "", "stub prefix for pcap direction inference (e.g. 152.2.0.0/16)")
+		detector   = fs.String("detector", "", "decision rule: "+strings.Join(ingest.DetectorNames(), ", ")+" (default syndog-cusum)")
+		t0         = fs.Duration("t0", 20*time.Second, "observation period")
+		offset     = fs.Float64("a", 0.35, "CUSUM offset a")
+		threshold  = fs.Float64("N", 1.05, "flooding threshold N")
+		alpha      = fs.Float64("alpha", 0.9, "EWMA memory for K-bar")
+		verbose    = fs.Bool("v", false, "print every observation period")
+		track      = fs.Bool("track-sources", false, "attribute detection per source prefix (keyed CUSUM bank)")
+		keyBits    = fs.Int("key-bits", sourcetrack.DefaultKeyBits, "source key prefix width: 32 per host, 24, 16, ... (needs -track-sources)")
+		maxSources = fs.Int("max-sources", sourcetrack.DefaultMaxSources, "per-source CUSUM states to keep (Space-Saving admission; needs -track-sources)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -69,6 +82,30 @@ func run(args []string, stdout io.Writer) (int, error) {
 		return 1, err
 	}
 	defer src.Close()
+
+	cusum := *detector == "" || *detector == "syndog-cusum"
+	if !*track && (*keyBits != sourcetrack.DefaultKeyBits || *maxSources != sourcetrack.DefaultMaxSources) {
+		return 1, fmt.Errorf("-key-bits/-max-sources need -track-sources")
+	}
+	var tracker *sourcetrack.Tracker
+	if *track {
+		// Offline replay is single-goroutine, so one shard keeps the
+		// run bit-identical to a per-key agent bank.
+		tracker, err = sourcetrack.New(sourcetrack.Config{
+			KeyBits:    *keyBits,
+			MaxSources: *maxSources,
+			Shards:     1,
+			Agent: core.Config{
+				T0:        *t0,
+				Alpha:     *alpha,
+				Offset:    *offset,
+				Threshold: *threshold,
+			},
+		})
+		if err != nil {
+			return 1, err
+		}
+	}
 
 	det, err := ingest.NewDetector(*detector, ingest.DetectorConfig{
 		Agent: core.Config{
@@ -96,6 +133,9 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 
 	p := &ingest.Pipeline{Source: src, Detector: det, T0: *t0, Sink: sink}
+	if tracker != nil {
+		p.Tap = tracker
+	}
 	if err := p.Run(); err != nil {
 		return 1, err
 	}
@@ -109,7 +149,6 @@ func run(args []string, stdout io.Writer) (int, error) {
 
 	// The yn/N/K-bar summary only means something for the CUSUM rule;
 	// baselines report their name instead of another rule's statistic.
-	cusum := *detector == "" || *detector == "syndog-cusum"
 	if cusum {
 		fmt.Fprintf(stdout, "trace %q: %d periods of %v, K-bar %.1f\n",
 			name, det.Periods(), *t0, det.KBar())
@@ -117,6 +156,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "trace %q: %d periods of %v, detector %s\n",
 			name, det.Periods(), *t0, det.Name())
 	}
+	code := 0
 	if al := det.FirstAlarm(); al != nil {
 		if cusum {
 			fmt.Fprintf(stdout, "FLOODING ALARM at period %d (t=%v, yn=%.3f > N=%.3g)\n",
@@ -126,8 +166,35 @@ func run(args []string, stdout io.Writer) (int, error) {
 				al.Period, al.At, det.Name())
 		}
 		fmt.Fprintln(stdout, "the flooding source is inside this stub network; trigger ingress filtering / MAC location")
-		return 2, nil
+		code = 2
+	} else {
+		fmt.Fprintln(stdout, "no flooding detected")
 	}
-	fmt.Fprintln(stdout, "no flooding detected")
-	return 0, nil
+	if tracker != nil {
+		printSources(stdout, tracker)
+	}
+	return code, nil
+}
+
+// printSources renders the attribution block: the truncation ledger
+// line, then the top keys ranked most-suspect first. The format is
+// pinned by the CLI exec tests.
+func printSources(w io.Writer, tracker *sourcetrack.Tracker) {
+	cfg := tracker.Config()
+	st := tracker.Stats()
+	fmt.Fprintf(w, "sources: %d tracked /%d keys (max %d, %d evicted, %d alarmed)\n",
+		st.Tracked, cfg.KeyBits, cfg.MaxSources, st.Evicted, st.Alarmed)
+	top := tracker.Sources(10)
+	if len(top) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "  rank  source                SYNs  periods        yn  state")
+	for i, s := range top {
+		state := "quiet"
+		if s.Alarmed {
+			state = fmt.Sprintf("ALARM p%d", s.AlarmPeriod)
+		}
+		fmt.Fprintf(w, "%6d  %-18s %7d  %7d  %8.3f  %s\n",
+			i+1, s.Key, s.Count, s.Periods, s.Y, state)
+	}
 }

@@ -10,12 +10,14 @@
 //	GET /healthz  -> 200 "ok" (503 once the replay has failed)
 //	GET /status   -> JSON snapshot (periods, K-bar, yn, alarm, replay + checkpoint state)
 //	GET /reports  -> JSON array of per-period reports
+//	GET /sources  -> JSON ranked per-source attribution (with -track-sources)
 //	GET /metrics  -> Prometheus-style text exposition
 //
 // Usage:
 //
 //	syndogd -in mixed.trace -listen :8080 -speed 60
 //	syndogd -in mixed.trace -state agent.json -checkpoint 30s
+//	syndogd -in mixed.trace -track-sources -key-bits 24 -max-sources 4096
 //	syndogd -in capture.pcap -prefix 152.2.0.0/16
 //	syndogd -in mixed.trace -detector adaptive-ewma
 //
@@ -35,6 +37,13 @@
 // disagree with -t0/-a/-N is a startup error, never silently adopted.
 // Only the syndog-cusum detector carries snapshot state, so -state
 // requires it; the baselines are stateless comparisons.
+//
+// -track-sources adds the per-source attribution engine (one keyed
+// CUSUM per source prefix, Space-Saving bounded to -max-sources): the
+// ranked offender list serves at /sources, keyed gauges join /metrics,
+// and the snapshot carries the keyed state too — resuming a keyed
+// snapshot without -track-sources, or with a changed -key-bits or
+// -max-sources, is a startup error, never a silent drop.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/ingest"
+	"repro/internal/sourcetrack"
 	"repro/internal/trace"
 )
 
@@ -75,6 +86,9 @@ func run(args []string) error {
 		threshold  = fs.Float64("N", 1.05, "flooding threshold N")
 		statePath  = fs.String("state", "", "snapshot file: loaded at start if present, written at shutdown")
 		checkpoint = fs.Duration("checkpoint", 0, "periodic snapshot interval (0 = only at shutdown; needs -state)")
+		track      = fs.Bool("track-sources", false, "run the per-source attribution engine (/sources endpoint)")
+		keyBits    = fs.Int("key-bits", sourcetrack.DefaultKeyBits, "source key prefix width: 32 per host, 24, 16, ... (needs -track-sources)")
+		maxSources = fs.Int("max-sources", sourcetrack.DefaultMaxSources, "per-source CUSUM states to keep (Space-Saving admission; needs -track-sources)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +103,12 @@ func run(args []string) error {
 	if *statePath != "" && !cusum {
 		return fmt.Errorf("-state needs the syndog-cusum detector, not %q (baselines carry no snapshot state)", *detector)
 	}
+	if *track && !cusum {
+		return fmt.Errorf("-track-sources needs the syndog-cusum detector, not %q", *detector)
+	}
+	if !*track && (*keyBits != sourcetrack.DefaultKeyBits || *maxSources != sourcetrack.DefaultMaxSources) {
+		return errors.New("-key-bits/-max-sources need -track-sources")
+	}
 	var prefix netip.Prefix
 	if *prefixStr != "" {
 		var err error
@@ -100,14 +120,30 @@ func run(args []string) error {
 	cfg := core.Config{T0: *t0, Offset: *offset, Threshold: *threshold}
 	effT0 := *t0
 	var det ingest.Detector
+	var tracker *sourcetrack.Tracker
 	if cusum {
-		agent, resumed, err := daemon.LoadOrNewAgent(*statePath, cfg)
+		var trackCfg *sourcetrack.Config
+		if *track {
+			trackCfg = &sourcetrack.Config{
+				KeyBits:    *keyBits,
+				MaxSources: *maxSources,
+				Shards:     runtime.GOMAXPROCS(0),
+				Agent:      core.Config{T0: *t0, Offset: *offset, Threshold: *threshold},
+			}
+		}
+		agent, tr, resumed, err := daemon.LoadOrNewState(*statePath, cfg, trackCfg)
 		if err != nil {
 			return err
 		}
+		tracker = tr
 		if resumed {
 			fmt.Fprintf(os.Stderr, "syndogd: resumed from %s (%d periods, K-bar %.1f)\n",
 				*statePath, len(agent.Reports()), agent.KBar())
+			if tracker != nil {
+				st := tracker.Stats()
+				fmt.Fprintf(os.Stderr, "syndogd: keyed state: %d sources tracked, %d evicted\n",
+					st.Tracked, st.Evicted)
+			}
 		}
 		det = ingest.WrapAgent(agent)
 		effT0 = agent.Config().T0
@@ -122,6 +158,7 @@ func run(args []string) error {
 		Name:               "syndogd",
 		StatePath:          *statePath,
 		CheckpointInterval: *checkpoint,
+		Tracker:            tracker,
 	}
 
 	var d *daemon.Daemon

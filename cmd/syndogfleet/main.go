@@ -46,6 +46,7 @@ import (
 	"repro/internal/mitigate"
 	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/sourcetrack"
 	"repro/internal/tcp"
 )
 
@@ -59,6 +60,7 @@ func main() {
 type stubReport struct {
 	hasSlave bool
 	agent    *core.Agent
+	tracker  *sourcetrack.Tracker
 	locator  *mitigate.Locator
 }
 
@@ -198,6 +200,18 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 		if sr.agent, err = core.NewAgent(core.Config{T0: cfg.t0}); err != nil {
 			return err
 		}
+		// Per-stub attribution: spoofed flood sources scatter across
+		// 240.0.0.0/4, so /8 keying concentrates each slave's SYNs on
+		// a handful of keys while the stub's own clients stay on
+		// theirs. 64 states is plenty for 16 spoof /8s + the locals.
+		if sr.tracker, err = sourcetrack.New(sourcetrack.Config{
+			KeyBits:    8,
+			MaxSources: 64,
+			Shards:     1,
+			Agent:      core.Config{T0: cfg.t0},
+		}); err != nil {
+			return err
+		}
 		live := ingest.NewChanSource(1024)
 		sources[i] = live
 		tap := live.Tap()
@@ -213,6 +227,7 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 			Detector: ingest.WrapAgent(sr.agent),
 			T0:       cfg.t0,
 			Span:     horizon,
+			Tap:      sr.tracker,
 		}
 		wg.Add(1)
 		go func(i int) {
@@ -297,6 +312,21 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 			verdict = fmt.Sprintf("ALARM at %v (+%d periods)", al.At, al.Period-onsetPeriod)
 			if suspects := sr.locator.Suspects(); len(suspects) > 0 {
 				verdict += fmt.Sprintf(", located %v", suspects[0].Station)
+			}
+			// Keyed attribution: the source prefix the flood evidence
+			// concentrates on (spoofed blocks for a slave stub).
+			srcs := sr.tracker.Sources(0)
+			alarmedKeys := 0
+			for _, s := range srcs {
+				if s.Alarmed {
+					alarmedKeys++
+				}
+			}
+			if alarmedKeys > 0 {
+				verdict += fmt.Sprintf(", sources %v", srcs[0].Key)
+				if alarmedKeys > 1 {
+					verdict += fmt.Sprintf(" (+%d more)", alarmedKeys-1)
+				}
 			}
 		}
 		ok := sr.agent.Alarmed() == sr.hasSlave

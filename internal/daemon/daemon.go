@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/sourcetrack"
 	"repro/internal/trace"
 )
 
@@ -59,6 +60,12 @@ type Options struct {
 	// positive and StatePath is set. Zero disables checkpointing; the
 	// final snapshot on shutdown is written regardless.
 	CheckpointInterval time.Duration
+	// Tracker, when non-nil, is the per-source attribution engine:
+	// replay taps every counted record into it, /sources and the
+	// keyed /metrics gauges expose it, and SaveState persists its
+	// keyed snapshot alongside the agent's. Its period clock must
+	// match the detector's resume offset (NewStream validates).
+	Tracker *sourcetrack.Tracker
 }
 
 func (o *Options) applyDefaults() {
@@ -143,6 +150,10 @@ func NewStream(det ingest.Detector, src ingest.Source, info ingest.Info, t0 time
 		return nil, fmt.Errorf("daemon: snapshot holds %d periods but trace %q spans only %d — wrong trace or state file",
 			resume, info.Name, periods)
 	}
+	if opts.Tracker != nil && opts.Tracker.Periods() != resume {
+		return nil, fmt.Errorf("daemon: keyed state holds %d periods but detector holds %d — mismatched snapshot halves",
+			opts.Tracker.Periods(), resume)
+	}
 	d := &Daemon{
 		opts:         opts,
 		det:          det,
@@ -194,6 +205,9 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 	agg, err := ingest.NewAggregator(d.t0, d.span, d.det, nil)
 	if err != nil {
 		return err
+	}
+	if d.opts.Tracker != nil {
+		agg.SetTap(d.opts.Tracker)
 	}
 
 	// One-record lookahead over the source: the paced loop must close

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sourcetrack"
 )
 
 // Status is the /status payload. Field names are part of the daemon's
@@ -27,6 +29,10 @@ type Status struct {
 	ReplayError      string        `json:"replayError,omitempty"`
 	LastOutSYN       uint64        `json:"lastOutSYN"`
 	LastInSYNACK     uint64        `json:"lastInSYNACK"`
+	Tracking         bool          `json:"tracking"`
+	SourcesTracked   int           `json:"sourcesTracked"`
+	SourcesAlarmed   int           `json:"sourcesAlarmed"`
+	SourcesEvicted   uint64        `json:"sourcesEvicted"`
 	Checkpoints      int           `json:"checkpoints"`
 	CheckpointAge    time.Duration `json:"checkpointAgeNanos,omitempty"`
 	T0               time.Duration `json:"t0Nanos"`
@@ -66,7 +72,46 @@ func (d *Daemon) Status() Status {
 	if !d.lastCheckpoint.IsZero() {
 		s.CheckpointAge = time.Since(d.lastCheckpoint)
 	}
+	if tr := d.opts.Tracker; tr != nil {
+		// The tracker has its own (leaf) shard locks; reading it under
+		// d.mu is deadlock-free because nothing acquires them first.
+		ts := tr.Stats()
+		s.Tracking = true
+		s.SourcesTracked = ts.Tracked
+		s.SourcesAlarmed = ts.Alarmed
+		s.SourcesEvicted = ts.Evicted
+	}
 	return s
+}
+
+// SourcesPayload is the /sources response: the tracker's truncation
+// ledger plus the ranked most-suspect keys. Enabled is false (and the
+// rest zero) when the daemon runs without -track-sources.
+type SourcesPayload struct {
+	Enabled    bool                       `json:"enabled"`
+	KeyBits    int                        `json:"keyBits,omitempty"`
+	MaxSources int                        `json:"maxSources,omitempty"`
+	Periods    int                        `json:"periods,omitempty"`
+	Stats      sourcetrack.TrackerStats   `json:"stats"`
+	Sources    []sourcetrack.SourceReport `json:"sources"`
+}
+
+// Sources returns the /sources payload with at most n ranked keys
+// (n <= 0 means all).
+func (d *Daemon) Sources(n int) SourcesPayload {
+	tr := d.opts.Tracker
+	if tr == nil {
+		return SourcesPayload{}
+	}
+	cfg := tr.Config()
+	return SourcesPayload{
+		Enabled:    true,
+		KeyBits:    cfg.KeyBits,
+		MaxSources: cfg.MaxSources,
+		Periods:    tr.Periods(),
+		Stats:      tr.Stats(),
+		Sources:    tr.Sources(n),
+	}
 }
 
 // Reports returns a copy of the detector's period reports.
@@ -81,6 +126,7 @@ func (d *Daemon) Reports() []core.Report {
 //	GET /healthz  -> 200 "ok", or 503 with the replay error
 //	GET /status   -> JSON Status
 //	GET /reports  -> JSON array of per-period reports
+//	GET /sources  -> JSON SourcesPayload (ranked keys; ?n= limits, default 20)
 //	GET /metrics  -> Prometheus-style text exposition
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -98,6 +144,19 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(d.Reports())
+	})
+	mux.HandleFunc("GET /sources", func(w http.ResponseWriter, r *http.Request) {
+		n := 20
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Sources(n))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -137,6 +196,14 @@ func writeMetrics(w http.ResponseWriter, s Status) {
 	// drives the detector.
 	fmt.Fprintf(w, "# TYPE syndog_last_period_out_syn gauge\nsyndog_last_period_out_syn %d\n", s.LastOutSYN)
 	fmt.Fprintf(w, "# TYPE syndog_last_period_in_synack gauge\nsyndog_last_period_in_synack %d\n", s.LastInSYNACK)
+
+	// Keyed source attribution. Emitted unconditionally (zeros when
+	// tracking is off) so enabling -track-sources never changes the
+	// exposition's line set.
+	fmt.Fprintf(w, "# TYPE syndog_sources_tracking gauge\nsyndog_sources_tracking %d\n", b2i(s.Tracking))
+	fmt.Fprintf(w, "# TYPE syndog_sources_tracked gauge\nsyndog_sources_tracked %d\n", s.SourcesTracked)
+	fmt.Fprintf(w, "# TYPE syndog_sources_alarmed gauge\nsyndog_sources_alarmed %d\n", s.SourcesAlarmed)
+	fmt.Fprintf(w, "# TYPE syndog_sources_evicted_total counter\nsyndog_sources_evicted_total %d\n", s.SourcesEvicted)
 
 	// Durability: how stale the on-disk snapshot is. Age is only
 	// meaningful once a checkpoint has been written.

@@ -1,0 +1,324 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sourcetrack"
+)
+
+// keyedTrackConfig keys the flood-bearing test trace at /8: the
+// spoofed 240.0.0.0/4 sources concentrate onto 16 keys (detectable
+// per-key rates), while Auckland's 130.216/16 clients collapse onto
+// one balanced key.
+func keyedTrackConfig() *sourcetrack.Config {
+	return &sourcetrack.Config{KeyBits: 8, MaxSources: 64}
+}
+
+// TestKeyedResumeEquivalence extends the headline resume invariant to
+// the keyed half: stop a tracking daemon at an arbitrary period,
+// resume from its state file, finish the trace — and the final state
+// file and /sources payload are byte-identical to an uninterrupted
+// tracking run.
+func TestKeyedResumeEquivalence(t *testing.T) {
+	tr := testTrace(t, true)
+	t0 := core.DefaultObservationPeriod
+	dir := t.TempDir()
+
+	run := func(statePath string, full bool, k int) (stateBytes, sources string) {
+		t.Helper()
+		agent, tracker, _, err := LoadOrNewState(statePath, core.Config{}, keyedTrackConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay := tr
+		if !full {
+			replay = truncated(tr, time.Duration(k)*t0)
+		}
+		d, err := New(agent, replay, Options{Tracker: tracker})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Replay(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SaveState(statePath); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(statePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, body := get(t, d, "/sources")
+		return string(b), body
+	}
+
+	refPath := filepath.Join(dir, "ref.json")
+	wantState, wantSources := run(refPath, true, 0)
+	if !strings.Contains(wantSources, `"alarmed":true`) {
+		t.Fatalf("reference run attributed no source:\n%s", wantSources)
+	}
+
+	for _, k := range []int{1, 9, 17, 30} {
+		path := filepath.Join(dir, "resume.json")
+		run(path, false, k) // first boot: k periods, then stop
+		gotState, gotSources := run(path, true, 0)
+		if gotState != wantState {
+			t.Errorf("k=%d: resumed state file differs from uninterrupted run", k)
+		}
+		if gotSources != wantSources {
+			t.Errorf("k=%d: resumed /sources differs from uninterrupted run", k)
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadOrNewState(t *testing.T) {
+	dir := t.TempDir()
+	tr := testTrace(t, true)
+
+	// Empty path and missing file: fresh agent, fresh tracker.
+	for _, path := range []string{"", filepath.Join(dir, "none.json")} {
+		agent, tracker, resumed, err := LoadOrNewState(path, core.Config{}, keyedTrackConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed || len(agent.Reports()) != 0 || tracker == nil || tracker.Periods() != 0 {
+			t.Errorf("path %q: fresh state resumed=%v tracker=%v", path, resumed, tracker)
+		}
+	}
+	// Tracking disabled: no tracker comes back.
+	if _, tracker, _, err := LoadOrNewState("", core.Config{}, nil); err != nil || tracker != nil {
+		t.Errorf("track=nil built tracker %v (err %v)", tracker, err)
+	}
+
+	// An aggregate-only snapshot resumes with keyed tracking enabled:
+	// the tracker fast-forwards to the agent's period clock.
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.ProcessTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	aggPath := filepath.Join(dir, "agg.json")
+	if err := WriteSnapshotFile(agent.Snapshot(), aggPath); err != nil {
+		t.Fatal(err)
+	}
+	a2, tracker, resumed, err := LoadOrNewState(aggPath, core.Config{}, keyedTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || tracker == nil || tracker.Periods() != len(a2.Reports()) {
+		t.Fatalf("aggregate-only resume: resumed=%v tracker periods=%d agent periods=%d",
+			resumed, tracker.Periods(), len(a2.Reports()))
+	}
+
+	// Build a keyed state file via a tracking daemon.
+	agent3, tracker3, _, err := LoadOrNewState("", core.Config{}, keyedTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(agent3, tr, Options{Tracker: tracker3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Replay(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	keyedPath := filepath.Join(dir, "keyed.json")
+	if err := d.SaveState(keyedPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resuming a keyed file without tracking would silently drop the
+	// per-key evidence — hard error.
+	if _, _, _, err := LoadOrNewState(keyedPath, core.Config{}, nil); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("keyed file without -track-sources: err = %v, want ErrConfigMismatch", err)
+	}
+	// Changed keying is the keyed config mismatch.
+	if _, _, _, err := LoadOrNewState(keyedPath, core.Config{}, &sourcetrack.Config{KeyBits: 16, MaxSources: 64}); !errors.Is(err, sourcetrack.ErrConfigMismatch) {
+		t.Errorf("key-bits change: err = %v, want sourcetrack.ErrConfigMismatch", err)
+	}
+	if _, _, _, err := LoadOrNewState(keyedPath, core.Config{}, &sourcetrack.Config{KeyBits: 8, MaxSources: 32}); !errors.Is(err, sourcetrack.ErrConfigMismatch) {
+		t.Errorf("max-sources change: err = %v, want sourcetrack.ErrConfigMismatch", err)
+	}
+	// The aggregate mismatch check still fires first.
+	if _, _, _, err := LoadOrNewState(keyedPath, core.Config{T0: 30 * time.Second}, keyedTrackConfig()); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("t0 change: err = %v, want ErrConfigMismatch", err)
+	}
+	// Matching config resumes both halves, aligned.
+	a4, tracker4, resumed, err := LoadOrNewState(keyedPath, core.Config{}, keyedTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || tracker4 == nil || tracker4.Periods() != len(a4.Reports()) {
+		t.Fatalf("keyed resume: resumed=%v, periods %d vs %d", resumed, tracker4.Periods(), len(a4.Reports()))
+	}
+	if tracker4.Stats().Alarmed == 0 {
+		t.Error("keyed resume lost the per-source alarms")
+	}
+
+	// Mismatched halves (keyed clock != aggregate clock) are corrupt.
+	st, err := ReadStateFile(keyedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sources.Periods--
+	for i := range st.Sources.Keys {
+		if st.Sources.Keys[i].Periods > st.Sources.Periods {
+			st.Sources.Keys[i].Periods = st.Sources.Periods
+		}
+	}
+	tornPath := filepath.Join(dir, "torn.json")
+	if err := WriteStateFile(st, tornPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadOrNewState(tornPath, core.Config{}, keyedTrackConfig()); !errors.Is(err, core.ErrBadSnapshot) {
+		t.Errorf("mismatched halves: err = %v, want core.ErrBadSnapshot", err)
+	}
+}
+
+// TestStateFileCompatibility pins the on-disk contract: a state file
+// without keyed sources is byte-identical to the pre-keyed aggregate
+// snapshot format, and a keyed state file still loads through the
+// aggregate-only reader (which ignores the keyed half).
+func TestStateFileCompatibility(t *testing.T) {
+	dir := t.TempDir()
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.ProcessTrace(testTrace(t, true)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "agg.json")
+	if err := WriteSnapshotFile(agent.Snapshot(), path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := agent.WriteSnapshot(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.String() != string(onDisk) {
+		t.Error("aggregate-only state file drifted from the core.Snapshot format")
+	}
+
+	// A keyed state file is still readable as a plain agent snapshot.
+	tracker, err := sourcetrack.New(sourcetrack.Config{KeyBits: 8, MaxSources: 64, Agent: core.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := tracker.Snapshot()
+	keyedPath := filepath.Join(dir, "keyed.json")
+	if err := WriteStateFile(State{Snapshot: agent.Snapshot(), Sources: &ks}, keyedPath); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(keyedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a2, err := core.ReadSnapshot(f)
+	if err != nil {
+		t.Fatalf("aggregate reader rejected keyed state file: %v", err)
+	}
+	if len(a2.Reports()) != len(agent.Reports()) {
+		t.Errorf("aggregate half lost reports: %d vs %d", len(a2.Reports()), len(agent.Reports()))
+	}
+}
+
+// TestSourcesEndpoint drives /sources and the keyed /status and
+// /metrics fields over a flooded replay.
+func TestSourcesEndpoint(t *testing.T) {
+	agent, tracker, _, err := LoadOrNewState("", core.Config{}, keyedTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(agent, testTrace(t, true), Options{Tracker: tracker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Replay(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	p := d.Sources(0)
+	if !p.Enabled || p.KeyBits != 8 || p.MaxSources != 64 {
+		t.Fatalf("payload header: %+v", p)
+	}
+	if p.Stats.Alarmed == 0 || len(p.Sources) == 0 {
+		t.Fatalf("flooded replay attributed nothing: %+v", p.Stats)
+	}
+	top := p.Sources[0]
+	if !top.Alarmed || top.Key.Addr().As4()[0] < 240 {
+		t.Errorf("top source %+v is not an alarmed spoofed block", top)
+	}
+	for i := 1; i < len(p.Sources); i++ {
+		if p.Sources[i-1].Alarmed == p.Sources[i].Alarmed &&
+			p.Sources[i-1].Alarmed == false &&
+			p.Sources[i-1].Y < p.Sources[i].Y {
+			t.Errorf("sources not ranked: %d before %d", i-1, i)
+		}
+	}
+
+	if status, body := get(t, d, "/sources?n=1"); status != 200 || strings.Count(body, `"key"`) != 1 {
+		t.Errorf("?n=1: status %d body %s", status, body)
+	}
+	if status, _ := get(t, d, "/sources?n=bogus"); status != 400 {
+		t.Errorf("bad n: status %d, want 400", status)
+	}
+
+	s := d.Status()
+	if !s.Tracking || s.SourcesTracked == 0 || s.SourcesAlarmed == 0 {
+		t.Errorf("status keyed fields: %+v", s)
+	}
+	if _, body := get(t, d, "/metrics"); !strings.Contains(body, "syndog_sources_tracking 1") ||
+		!strings.Contains(body, "syndog_sources_alarmed") {
+		t.Error("metrics missing keyed gauges")
+	}
+
+	// Without a tracker the endpoint reports disabled, not 404 — the
+	// handler set is independent of configuration.
+	d2 := newTestDaemon(t, false, Options{})
+	if status, body := get(t, d2, "/sources"); status != 200 || !strings.Contains(body, `"enabled":false`) {
+		t.Errorf("untracked /sources: status %d body %s", status, body)
+	}
+	if s := d2.Status(); s.Tracking || s.SourcesTracked != 0 {
+		t.Errorf("untracked status keyed fields: %+v", s)
+	}
+}
+
+// TestNewStreamRejectsMisalignedTracker pins the startup guard: a
+// tracker whose period clock disagrees with the detector's resume
+// offset means the two snapshot halves came from different runs.
+func TestNewStreamRejectsMisalignedTracker(t *testing.T) {
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := sourcetrack.New(*keyedTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracker.FastForward(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(agent, testTrace(t, false), Options{Tracker: tracker}); err == nil {
+		t.Error("misaligned tracker accepted")
+	}
+}

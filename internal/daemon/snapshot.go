@@ -1,14 +1,17 @@
 package daemon
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sourcetrack"
 )
 
 // ErrConfigMismatch reports a snapshot whose parameters disagree with
@@ -17,6 +20,39 @@ import (
 // onto a detector with different semantics — so it is a hard startup
 // error.
 var ErrConfigMismatch = errors.New("daemon: snapshot config disagrees with requested config")
+
+// State is the daemon's on-disk snapshot: the aggregate agent
+// snapshot plus, when source tracking is enabled, the keyed tracker
+// state. With Sources nil the encoding is byte-identical to a bare
+// core.Snapshot, so state files written before (or without) source
+// tracking stay interchangeable with the aggregate-only format, and
+// core.ReadSnapshot can still read a keyed file (ignoring the keyed
+// half — use LoadOrNewState to refuse that silently-lossy path).
+type State struct {
+	core.Snapshot
+	Sources *sourcetrack.Snapshot `json:"sources,omitempty"`
+}
+
+// Write serializes the state as indented JSON, the on-disk format.
+func (st State) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// ReadStateFile loads a daemon state file without restoring it.
+func ReadStateFile(path string) (State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return State{}, err
+	}
+	defer f.Close()
+	var st State
+	if err := json.NewDecoder(f).Decode(&st); err != nil {
+		return State{}, fmt.Errorf("%w: %v", core.ErrBadSnapshot, err)
+	}
+	return st, nil
+}
 
 // LoadOrNewAgent resumes an agent from statePath when the file exists,
 // otherwise builds a fresh agent from cfg. It returns whether the
@@ -52,11 +88,97 @@ func LoadOrNewAgent(statePath string, cfg core.Config) (agent *core.Agent, resum
 	return a, true, nil
 }
 
-// WriteSnapshotFile persists a snapshot durably: it writes to a
+// LoadOrNewState is the keyed-aware twin of LoadOrNewAgent: it
+// resumes (or freshly builds) the aggregate agent and, when track is
+// non-nil, the source tracker too. The same strictness applies, plus
+// the keyed half:
+//
+//   - A state file carrying keyed sources is refused when tracking is
+//     disabled — dropping accumulated per-key evidence must be an
+//     explicit operator decision (move the file aside), never silent.
+//   - Keyed keying/capacity/parameter changes fail with
+//     sourcetrack.ErrConfigMismatch.
+//   - Enabling tracking over an aggregate-only snapshot fast-forwards
+//     an empty tracker to the agent's resume point: keyed evidence
+//     starts accumulating from there.
+//   - The two halves' period clocks must agree.
+func LoadOrNewState(statePath string, cfg core.Config, track *sourcetrack.Config) (agent *core.Agent, tracker *sourcetrack.Tracker, resumed bool, err error) {
+	fresh := func(periods int) (*sourcetrack.Tracker, error) {
+		if track == nil {
+			return nil, nil
+		}
+		tr, err := sourcetrack.New(*track)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.FastForward(periods); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	if statePath == "" {
+		a, err := core.NewAgent(cfg)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		tr, err := fresh(0)
+		return a, tr, false, err
+	}
+	st, err := ReadStateFile(statePath)
+	if errors.Is(err, fs.ErrNotExist) {
+		a, err := core.NewAgent(cfg)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		tr, err := fresh(0)
+		return a, tr, false, err
+	}
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("resume from %s: %w", statePath, err)
+	}
+	a, err := core.RestoreAgent(st.Snapshot)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("resume from %s: %w", statePath, err)
+	}
+	if got, want := a.Config(), cfg.Normalized(); got != want {
+		return nil, nil, false, fmt.Errorf("%w: %s holds %+v, flags request %+v",
+			ErrConfigMismatch, statePath, got, want)
+	}
+	switch {
+	case st.Sources == nil:
+		// Aggregate-only snapshot: keyed evidence (if requested)
+		// starts at the resume point.
+		if tracker, err = fresh(len(st.Reports)); err != nil {
+			return nil, nil, false, err
+		}
+	case track == nil:
+		return nil, nil, false, fmt.Errorf("%w: %s carries keyed source state; resume with -track-sources or move the snapshot aside",
+			ErrConfigMismatch, statePath)
+	default:
+		tracker, err = sourcetrack.Restore(*st.Sources, *track)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("resume from %s: %w", statePath, err)
+		}
+		if tracker.Periods() != len(st.Reports) {
+			return nil, nil, false, fmt.Errorf("%w: %s keyed half holds %d periods but aggregate holds %d",
+				core.ErrBadSnapshot, statePath, tracker.Periods(), len(st.Reports))
+		}
+	}
+	return a, tracker, true, nil
+}
+
+// WriteSnapshotFile persists an aggregate-only snapshot durably. It
+// is WriteStateFile with no keyed half; the bytes are identical to
+// the pre-keyed format.
+func WriteSnapshotFile(snap core.Snapshot, path string) error {
+	return WriteStateFile(State{Snapshot: snap}, path)
+}
+
+// WriteStateFile persists a daemon state durably: it writes to a
 // temporary file in the destination directory, fsyncs it, renames it
 // over path, and fsyncs the directory so the rename itself survives a
 // crash. A reader never observes a partially-written snapshot.
-func WriteSnapshotFile(snap core.Snapshot, path string) error {
+func WriteStateFile(st State, path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -64,7 +186,7 @@ func WriteSnapshotFile(snap core.Snapshot, path string) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 
-	if err := snap.Write(tmp); err != nil {
+	if err := st.Write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -98,9 +220,13 @@ func (d *Daemon) SaveState(path string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("daemon: detector %q has no snapshot state", d.det.Name())
 	}
-	snap := d.agent.Snapshot()
+	st := State{Snapshot: d.agent.Snapshot()}
+	if tr := d.opts.Tracker; tr != nil {
+		ks := tr.Snapshot()
+		st.Sources = &ks
+	}
 	d.mu.Unlock()
-	return WriteSnapshotFile(snap, path)
+	return WriteStateFile(st, path)
 }
 
 // Checkpoint persists the agent to Options.StatePath and records the

@@ -38,6 +38,7 @@ func AblationRegistry() []Experiment {
 		{"ablation-lastmile", "First-mile (SYN-SYN/ACK) vs last-mile (SYN-FIN) deployment", AblationLastMile},
 		{"ablation-deployment", "Incremental deployability: partial SYN-dog coverage", AblationDeployment},
 		{"ablation-posterior", "Sequential vs posterior change detection", AblationPosterior},
+		{"attribution", "Per-source attribution: keyed recall/precision vs aggregate detection", AblationAttribution},
 	}
 }
 

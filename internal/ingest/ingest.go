@@ -95,6 +95,17 @@ type Detector interface {
 // allowed.
 type Sink func(core.Report)
 
+// RecordTap observes the records the aggregator counts plus every
+// period close — the keyed demux hook. The aggregator guarantees the
+// tap sees exactly the records the aggregate detector's counts came
+// from: resume-skipped and past-span records never reach it, and
+// ClosePeriod fires at the same boundaries the detector folds.
+// internal/sourcetrack implements it; ingest stays detector-agnostic.
+type RecordTap interface {
+	Record(r trace.Record)
+	ClosePeriod(index int, end time.Duration)
+}
+
 // Aggregator is the push-side period folder: Feed it time-ordered
 // records and it counts them into the current period, closing each
 // period boundary through the Detector. Its skip/boundary/tail
@@ -104,6 +115,7 @@ type Aggregator struct {
 	t0   time.Duration
 	det  Detector
 	sink Sink
+	tap  RecordTap
 
 	span    time.Duration // 0 while unknown
 	periods int           // span / t0; -1 while span unknown
@@ -174,8 +186,15 @@ func (a *Aggregator) Feed(r trace.Record) error {
 		return nil // past the last complete period
 	}
 	a.count(r)
+	if a.tap != nil {
+		a.tap.Record(r)
+	}
 	return nil
 }
+
+// SetTap attaches a keyed demux tap. It must be set before the first
+// Feed; the tap then sees every counted record and period close.
+func (a *Aggregator) SetTap(tap RecordTap) { a.tap = tap }
 
 // count adds one record to the open period's counters. KindOther and
 // KindNotTCP records are ignored, exactly as Sniffer.Count tallies
@@ -205,6 +224,9 @@ func (a *Aggregator) closePeriod() {
 	rep := a.det.Period(p)
 	if a.sink != nil {
 		a.sink(rep)
+	}
+	if a.tap != nil {
+		a.tap.ClosePeriod(p.Index, p.End)
 	}
 	a.next += a.t0
 	a.done++
@@ -269,6 +291,9 @@ type Pipeline struct {
 	Span time.Duration
 	// Sink, if set, receives each period report as it closes.
 	Sink Sink
+	// Tap, if set, receives every counted record and period close —
+	// the keyed source-attribution demux rides here.
+	Tap RecordTap
 }
 
 // Run drains the source through the aggregator and finishes the tail.
@@ -283,6 +308,9 @@ func (p *Pipeline) Run() error {
 	agg, err := NewAggregator(p.T0, span, p.Detector, p.Sink)
 	if err != nil {
 		return err
+	}
+	if p.Tap != nil {
+		agg.SetTap(p.Tap)
 	}
 	for {
 		r, err := p.Source.Next()

@@ -1,0 +1,270 @@
+package sourcetrack
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// busyTracker builds a small tracker with real history: more distinct
+// keys than capacity (so evictions happened), one flooding key (so an
+// alarm latched), and several closed periods.
+func busyTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tk, err := New(Config{
+		KeyBits:    24,
+		MaxSources: 4,
+		Shards:     2,
+		Agent:      core.Config{T0: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for period := 0; period < 6; period++ {
+		for k := 0; k < 8; k++ {
+			syns := 1 + k
+			if k == 0 {
+				syns = 200 // the flooder: never answered, alarms fast
+			}
+			for s := 0; s < syns; s++ {
+				tk.Observe(trace.Record{
+					Ts:   time.Duration(period) * time.Second,
+					Kind: packet.KindSYN,
+					Dir:  trace.DirOut,
+					Src:  netip.AddrFrom4([4]byte{10, byte(k), 0, byte(1 + s%200)}),
+					Dst:  netip.MustParseAddr("11.9.9.9"),
+				})
+			}
+			if k > 0 { // answered keys keep their balance
+				for s := 0; s < syns; s++ {
+					tk.Observe(trace.Record{
+						Ts:   time.Duration(period) * time.Second,
+						Kind: packet.KindSYNACK,
+						Dir:  trace.DirIn,
+						Src:  netip.MustParseAddr("11.9.9.9"),
+						Dst:  netip.AddrFrom4([4]byte{10, byte(k), 0, 1}),
+					})
+				}
+			}
+		}
+		// A SYN/ACK for a key no SYN ever admitted lands in the
+		// untracked ledger.
+		tk.Observe(trace.Record{
+			Ts:   time.Duration(period) * time.Second,
+			Kind: packet.KindSYNACK,
+			Dir:  trace.DirIn,
+			Src:  netip.MustParseAddr("11.9.9.9"),
+			Dst:  netip.MustParseAddr("10.99.0.1"),
+		})
+		tk.ClosePeriod(period, time.Duration(period+1)*time.Second)
+	}
+	st := tk.Stats()
+	if st.Evicted == 0 || st.Alarmed == 0 || st.UntrackedSYNACKs == 0 {
+		t.Fatalf("busy tracker not busy enough: %+v", st)
+	}
+	return tk
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tk := busyTracker(t)
+	snap := tk.Snapshot()
+
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, decoded) {
+		t.Fatalf("encode/decode changed the snapshot")
+	}
+
+	// Restoring under the same config — and under a different shard
+	// count, which is an execution detail — reproduces the state
+	// exactly, including the stats ledger.
+	for _, shards := range []int{1, 2, 3} {
+		cfg := tk.Config()
+		cfg.Shards = shards
+		restored, err := Restore(decoded, cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := restored.Snapshot(); !reflect.DeepEqual(snap, got) {
+			t.Fatalf("shards=%d: restored snapshot differs", shards)
+		}
+	}
+}
+
+// TestSnapshotResumeEquivalence pins restart transparency at the
+// tracker level: half-run, snapshot, restore, finish — byte-identical
+// to one uninterrupted run.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	p := trace.LBL()
+	tr := mixedTrace(t, p, 23, netip.MustParsePrefix("240.7.0.0/24"), 25)
+	cfg := Config{KeyBits: 24, MaxSources: 512, Shards: 1, Agent: core.Config{T0: 20 * time.Second}}
+
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.ProcessTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	half := *tr
+	half.Span = tr.Span / 2
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.ProcessTrace(&half); err != nil {
+		t.Fatal(err)
+	}
+	data, err := first.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(decoded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.ProcessTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	wantBytes, err := full.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := resumed.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantBytes) != string(gotBytes) {
+		t.Fatalf("resumed run is not byte-identical to the uninterrupted run")
+	}
+}
+
+func TestRestoreRejectsMismatchedConfig(t *testing.T) {
+	tk := busyTracker(t)
+	snap := tk.Snapshot()
+	base := tk.Config()
+
+	mutations := map[string]func(*Config){
+		"key bits":    func(c *Config) { c.KeyBits = 16 },
+		"max sources": func(c *Config) { c.MaxSources = 8 },
+		"offset":      func(c *Config) { c.Agent.Offset = 0.5 },
+		"period":      func(c *Config) { c.Agent.T0 = 2 * time.Second },
+		"min k":       func(c *Config) { c.Agent.MinK = 3 },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Restore(snap, cfg); !errors.Is(err, ErrConfigMismatch) {
+			t.Errorf("%s change: got %v, want ErrConfigMismatch", name, err)
+		}
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	tk := busyTracker(t)
+	base := tk.Snapshot()
+	cfg := tk.Config()
+
+	corrupt := map[string]func(*Snapshot){
+		"version": func(s *Snapshot) { s.Version = 99 },
+		"unmasked key": func(s *Snapshot) {
+			s.Keys[0].Key = netip.MustParsePrefix("10.0.0.7/24")
+		},
+		"wrong-width key": func(s *Snapshot) {
+			s.Keys[0].Key = netip.MustParsePrefix("10.0.0.0/16")
+		},
+		"period clock ahead": func(s *Snapshot) { s.Keys[0].Periods = s.Periods + 1 },
+		"negative periods":   func(s *Snapshot) { s.Periods = -1 },
+		"error above count": func(s *Snapshot) {
+			s.Keys[0].Err = s.Keys[0].Count + 1
+		},
+		"duplicate key": func(s *Snapshot) { s.Keys[1] = s.Keys[0] },
+		"over capacity": func(s *Snapshot) {
+			for len(s.Keys) <= s.MaxSources {
+				k := s.Keys[len(s.Keys)-1]
+				k.Key = netip.MustParsePrefix("172.16.0.0/24")
+				s.Keys = append(s.Keys, k)
+			}
+		},
+		"bad kbar": func(s *Snapshot) { s.Keys[0].KBar = -1 },
+		"bad y":    func(s *Snapshot) { s.Keys[0].Y = -1 },
+	}
+	for name, mutate := range corrupt {
+		data, err := base.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(&s)
+		if _, err := Restore(s, cfg); err == nil {
+			t.Errorf("%s: Restore accepted a corrupt snapshot", name)
+		}
+	}
+}
+
+// FuzzKeyedSnapshotRoundTrip pins three properties over arbitrary
+// bytes: DecodeSnapshot never panics, anything it accepts re-encodes
+// to an identical snapshot (encode∘decode identity), and Restore
+// never panics on a decoded snapshot (it may reject it).
+func FuzzKeyedSnapshotRoundTrip(f *testing.F) {
+	tk, err := New(Config{KeyBits: 24, MaxSources: 4, Agent: core.Config{T0: time.Second}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tk.Observe(trace.Record{
+		Kind: packet.KindSYN, Dir: trace.DirOut,
+		Src: netip.MustParseAddr("10.1.2.3"), Dst: netip.MustParseAddr("11.9.9.9"),
+	})
+	tk.ClosePeriod(0, time.Second)
+	valid, err := tk.Snapshot().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"keys":[{"key":"10.0.0.0/24"}]}`))
+	f.Add([]byte(`{"version":1,"periods":-3}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			return // NaN/Inf floats are unencodable; decode-only is fine
+		}
+		again, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("encode/decode not an identity:\n%+v\n%+v", s, again)
+		}
+		// Restore must reject, never panic.
+		_, _ = Restore(s, Config{KeyBits: s.KeyBits, MaxSources: s.MaxSources, Agent: s.Agent})
+	})
+}

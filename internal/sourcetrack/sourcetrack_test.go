@@ -1,0 +1,318 @@
+package sourcetrack
+
+import (
+	"net/netip"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flood"
+	"repro/internal/ingest"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// mix builds a background-plus-flood trace for one site profile. The
+// spoof prefix is kept narrow so the equivalence tests stay below the
+// tracker's capacity (eviction-free), which is the regime where the
+// per-key-agent equivalence is exact.
+func mixedTrace(t *testing.T, p trace.Profile, seed int64, spoof netip.Prefix, rate float64) *trace.Trace {
+	t.Helper()
+	bg, err := trace.Generate(p, seed)
+	if err != nil {
+		t.Fatalf("generate %s: %v", p.Name, err)
+	}
+	fl, err := flood.GenerateTrace(flood.Config{
+		Start:       p.Span / 3,
+		Duration:    p.Span / 3,
+		Pattern:     flood.Constant{PerSecond: rate},
+		Victim:      netip.MustParseAddr("11.9.9.9"),
+		VictimPort:  80,
+		SpoofPrefix: spoof,
+		Seed:        seed + 1,
+	})
+	if err != nil {
+		t.Fatalf("flood: %v", err)
+	}
+	return trace.Merge(p.Name+"+flood", bg, fl)
+}
+
+// filterForKey extracts exactly the records the tracker routes to key:
+// outgoing SYNs whose source masks to it, incoming SYN/ACKs whose
+// destination does. The span is preserved so period boundaries match.
+func filterForKey(tr *trace.Trace, tk *Tracker, key netip.Prefix) *trace.Trace {
+	out := &trace.Trace{Name: tr.Name + "@" + key.String(), Span: tr.Span}
+	for _, r := range tr.Records {
+		switch {
+		case r.Dir == trace.DirOut && r.Kind == packet.KindSYN:
+			if k, ok := tk.keyOf(r.Src); ok && k == key {
+				out.Records = append(out.Records, r)
+			}
+		case r.Dir == trace.DirIn && r.Kind == packet.KindSYNACK:
+			if k, ok := tk.keyOf(r.Dst); ok && k == key {
+				out.Records = append(out.Records, r)
+			}
+		}
+	}
+	return out
+}
+
+// TestKeyedEquivalencePerKeyAgents pins the package's core claim: a
+// single-shard keyed run is bit-identical to running one core.Agent
+// per key over the key's pre-filtered records — including keys first
+// admitted mid-trace (the flood keys), which exercises the
+// fast-forward closed form in keyState.reset.
+func TestKeyedEquivalencePerKeyAgents(t *testing.T) {
+	cases := []struct {
+		profile trace.Profile
+		keyBits int
+		spoof   netip.Prefix
+		rate    float64
+	}{
+		{trace.LBL(), 24, netip.MustParsePrefix("240.0.0.0/24"), 30},
+		{trace.Harvard(), 16, netip.MustParsePrefix("240.1.0.0/16"), 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.profile.Name, func(t *testing.T) {
+			tr := mixedTrace(t, tc.profile, 11, tc.spoof, tc.rate)
+			cfg := Config{
+				KeyBits:    tc.keyBits,
+				MaxSources: 4096,
+				Shards:     1,
+				Agent:      core.Config{T0: 20 * time.Second},
+			}
+			tk, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perKey := make(map[netip.Prefix][]core.Report)
+			tk.OnReport = func(key netip.Prefix, r core.Report) {
+				perKey[key] = append(perKey[key], r)
+			}
+			if err := tk.ProcessTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			if st := tk.Stats(); st.Evicted != 0 {
+				t.Fatalf("equivalence run must be eviction-free, got %d evictions", st.Evicted)
+			}
+
+			ranked := tk.Sources(0)
+			byKey := make(map[netip.Prefix]SourceReport, len(ranked))
+			for _, s := range ranked {
+				byKey[s.Key] = s
+			}
+			floodKey := netip.PrefixFrom(tc.spoof.Addr(), tc.keyBits)
+			if !byKey[floodKey].Alarmed {
+				t.Fatalf("flood key %v did not alarm", floodKey)
+			}
+
+			for key, reports := range perKey {
+				agent, err := core.NewAgent(tk.Config().Agent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := agent.ProcessTrace(filterForKey(tr, tk, key))
+				if err != nil {
+					t.Fatalf("key %v: %v", key, err)
+				}
+				for _, got := range reports {
+					if got.Index >= len(want) {
+						t.Fatalf("key %v: report index %d beyond agent's %d periods", key, got.Index, len(want))
+					}
+					if got != want[got.Index] {
+						t.Fatalf("key %v period %d:\n tracker %+v\n agent   %+v", key, got.Index, got, want[got.Index])
+					}
+				}
+				sr := byKey[key]
+				al := agent.FirstAlarm()
+				if sr.Alarmed != (al != nil) {
+					t.Fatalf("key %v: tracker alarmed=%v, agent alarm=%v", key, sr.Alarmed, al)
+				}
+				if al != nil && (sr.AlarmPeriod != al.Period || sr.AlarmAtNanos != int64(al.At) || sr.AlarmY != al.Y) {
+					t.Fatalf("key %v: tracker alarm %+v, agent alarm %+v", key, sr, *al)
+				}
+			}
+
+			// A background key under MinK-floored normalization must not
+			// alarm from ordinary retransmissions: only the flood key(s)
+			// inside the spoof block may latch.
+			for _, s := range ranked {
+				if s.Alarmed && !tc.spoof.Contains(s.Key.Addr()) {
+					t.Fatalf("background key %v alarmed: %+v", s.Key, s)
+				}
+			}
+
+			// Sharded execution is an execution detail: same trace, same
+			// config, eight stripes — identical final snapshot.
+			sharded, err := New(Config{
+				KeyBits:    tc.keyBits,
+				MaxSources: 4096,
+				Shards:     8,
+				Agent:      core.Config{T0: 20 * time.Second},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.ProcessTrace(tr); err != nil {
+				t.Fatal(err)
+			}
+			if a, b := tk.Snapshot(), sharded.Snapshot(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("sharded snapshot differs from single-shard snapshot")
+			}
+		})
+	}
+}
+
+// TestBoundedMemoryMillionSources pins the Space-Saving bound: a
+// stream with 2^20 distinct sources leaves exactly MaxSources CUSUM
+// states behind, reports every recycling in Stats.Evicted, and the
+// steady-state admission path allocates nothing per record.
+func TestBoundedMemoryMillionSources(t *testing.T) {
+	const n = 1 << 20
+	tk, err := New(Config{
+		KeyBits:    32,
+		MaxSources: 256,
+		Shards:     4,
+		Agent:      core.Config{T0: 20 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(i uint32) trace.Record {
+		return trace.Record{
+			Ts:   time.Duration(i),
+			Kind: packet.KindSYN,
+			Dir:  trace.DirOut,
+			Src:  netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+			Dst:  netip.MustParseAddr("11.9.9.9"),
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		tk.Observe(rec(i))
+		if i%(1<<18) == 0 && i > 0 {
+			tk.ClosePeriod(0, time.Duration(i))
+		}
+	}
+	st := tk.Stats()
+	if st.SYNs != n {
+		t.Fatalf("SYNs = %d, want %d", st.SYNs, n)
+	}
+	if st.Tracked != 256 {
+		t.Fatalf("Tracked = %d, want 256", st.Tracked)
+	}
+	if st.Evicted != n-256 {
+		t.Fatalf("Evicted = %d, want %d — truncation must be fully accounted", st.Evicted, n-256)
+	}
+	for i, sh := range tk.shards {
+		if len(sh.heap) != sh.cap || len(sh.states) != len(sh.heap) {
+			t.Fatalf("shard %d: %d heap / %d states, cap %d", i, len(sh.heap), len(sh.states), sh.cap)
+		}
+	}
+	if got := len(tk.Sources(10)); got != 10 {
+		t.Fatalf("Sources(10) returned %d entries", got)
+	}
+
+	// Steady state — every record admits a brand-new key by recycling
+	// the minimum — must not allocate.
+	next := uint32(n)
+	avg := testing.AllocsPerRun(1000, func() {
+		tk.Observe(rec(next))
+		next++
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Observe allocates %.2f objects/record, want 0", avg)
+	}
+}
+
+// TestConcurrentChanSourceFeeds drives one sharded tracker from four
+// stub-style producer/consumer pairs over ingest.ChanSource — the
+// fleet topology — and checks, against a sequentially-fed single-shard
+// tracker, that the final state is independent of both interleaving
+// and stripe layout. Run under -race this is the locking exercise.
+func TestConcurrentChanSourceFeeds(t *testing.T) {
+	const (
+		stubs   = 4
+		records = 4000
+		periods = 3
+	)
+	cfg := Config{
+		KeyBits:    24,
+		MaxSources: 64,
+		Shards:     8,
+		Agent:      core.Config{T0: time.Second},
+	}
+	tk, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := New(Config{KeyBits: 24, MaxSources: 64, Shards: 1, Agent: cfg.Agent})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stubRecords := func(stub, period int) []trace.Record {
+		out := make([]trace.Record, 0, records)
+		for j := 0; j < records; j++ {
+			host := netip.AddrFrom4([4]byte{10, byte(stub + 1), 0, byte(1 + j%50)})
+			r := trace.Record{
+				Ts:   time.Duration(period)*time.Second + time.Duration(j),
+				Kind: packet.KindSYN,
+				Dir:  trace.DirOut,
+				Src:  host,
+				Dst:  netip.MustParseAddr("11.9.9.9"),
+			}
+			if j%2 == 1 { // answered half: SYN/ACK back to the host
+				r.Kind = packet.KindSYNACK
+				r.Dir = trace.DirIn
+				r.Src, r.Dst = r.Dst, r.Src
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+
+	for period := 0; period < periods; period++ {
+		var wg sync.WaitGroup
+		for stub := 0; stub < stubs; stub++ {
+			src := ingest.NewChanSource(256)
+			wg.Add(2)
+			go func(recs []trace.Record) {
+				defer wg.Done()
+				for _, r := range recs {
+					src.Send(r)
+				}
+				src.CloseSend()
+			}(stubRecords(stub, period))
+			go func() {
+				defer wg.Done()
+				for {
+					r, err := src.Next()
+					if err != nil {
+						return
+					}
+					tk.Record(r)
+				}
+			}()
+		}
+		wg.Wait() // quiesce: ClosePeriod requires no Observe in flight
+		end := time.Duration(period+1) * time.Second
+		tk.ClosePeriod(period, end)
+
+		for stub := 0; stub < stubs; stub++ {
+			for _, r := range stubRecords(stub, period) {
+				seq.Record(r)
+			}
+		}
+		seq.ClosePeriod(period, end)
+	}
+
+	st := tk.Stats()
+	if want := uint64(stubs * records * periods / 2); st.SYNs != want || st.SYNACKs != want {
+		t.Fatalf("counts not conserved: %+v, want %d SYNs and SYN/ACKs", st, want)
+	}
+	if a, b := tk.Snapshot(), seq.Snapshot(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("concurrent sharded state differs from sequential single-shard state:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}
