@@ -1,13 +1,13 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test race check bench examples experiments fast-experiments fuzz clean
+.PHONY: all build vet test race check bench examples experiments fast-experiments evasion fuzz clean
 
 all: build vet test
 
-# The full pre-merge gate: static checks, the test suite, and the
-# race detector in one target.
-check: vet test race
+# The full pre-merge gate: static checks, the test suite, the race
+# detector, and the seeded adversarial evasion matrix in one target.
+check: vet test race evasion
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,12 @@ fast-experiments:
 ablations:
 	$(GO) run ./cmd/experiment -run ablations
 
+# Seeded, deterministic adversarial evasion matrix (seconds): the
+# closed detect → attribute → mitigate loop under theory-guided
+# attacks. Same seed, byte-identical table.
+evasion:
+	$(GO) run ./cmd/experiment -run evasion -fast
+
 # 8 seconds per fuzz target; extend FUZZTIME for deeper runs.
 FUZZTIME ?= 8s
 fuzz:
@@ -72,6 +78,7 @@ fuzz:
 	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReader$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReaderStreaming$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sourcetrack -fuzz '^FuzzKeyedSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/flood -fuzz '^FuzzPulsingCountsMatchRecords$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,465 @@
+// Package evasion generates the adversarial flood scenarios the
+// paper's own theory invites: Eq. 8 gives the attacker the exact
+// sensitivity floor fmin below which a flood builds no CUSUM drift,
+// and Eq. 7 gives the detection delay, i.e. how long a burst may run
+// before the statistic reaches the threshold. Each generator here
+// builds one such theory-guided attack — plus the classic
+// false-positive control, a flash crowd whose SYN surge carries
+// matching SYN/ACKs — as a trace overlay ready to merge into
+// background traffic.
+//
+// Every generator is seed-deterministic: arrival schedules are exact
+// grids (flood.Pulsing, or the round-robin drips below), and the only
+// randomness is the choice of spoofed host bits and ephemeral ports,
+// drawn from the scenario seed. The same Params therefore always
+// yield byte-identical record sequences, which is what lets the
+// closed-loop experiment (internal/experiment, "evasion") promise a
+// reproducible scenario matrix and lets the property tests in this
+// package pin the evasion margins as arithmetic facts rather than
+// expectations.
+package evasion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"repro/internal/cusum"
+	"repro/internal/flood"
+	"repro/internal/packet"
+	"repro/internal/trace"
+)
+
+// ChurnBase is the block many-source scenarios draw their spoofed
+// keys from: the reserved class-E space, unreachable like
+// flood.DefaultSpoofPrefix, with room for 2^20 distinct /24 keys.
+var ChurnBase = netip.MustParsePrefix("240.0.0.0/4")
+
+// Params fixes the shared geometry of a scenario: who is attacked,
+// when, for how long, and at what detector granularity the ground
+// truth is expressed.
+type Params struct {
+	// Victim is the flood target.
+	Victim     netip.Addr
+	VictimPort uint16
+	// Onset is the attack start relative to trace start; Duration is
+	// how long it runs.
+	Onset    time.Duration
+	Duration time.Duration
+	// T0 is the detector's observation period (the evasion margins are
+	// stated per period).
+	T0 time.Duration
+	// KeyBits is the attribution keying width ground-truth prefixes
+	// are expressed at (e.g. 24).
+	KeyBits int
+	// Seed drives host-bit and port randomness.
+	Seed int64
+}
+
+func (p *Params) validate() error {
+	if !p.Victim.IsValid() {
+		return errors.New("evasion: invalid victim")
+	}
+	if p.Onset < 0 || p.Duration <= 0 {
+		return fmt.Errorf("evasion: onset %v duration %v", p.Onset, p.Duration)
+	}
+	if p.T0 <= 0 {
+		return errors.New("evasion: non-positive observation period")
+	}
+	if p.KeyBits < 1 || p.KeyBits > 32 {
+		return fmt.Errorf("evasion: key bits %d outside [1,32]", p.KeyBits)
+	}
+	return nil
+}
+
+// Scenario is one adversarial workload: the attack overlay trace plus
+// the ground truth the closed-loop experiment scores attribution
+// against.
+type Scenario struct {
+	// Name identifies the scenario in the matrix table.
+	Name string
+	// Attack is the overlay trace (sorted, Span = Onset+Duration).
+	Attack *trace.Trace
+	// Truth holds the attack's source keys at Params.KeyBits width.
+	// Empty for the flash crowd, whose sources are legitimate.
+	Truth []netip.Prefix
+	// Hostile distinguishes attacks (an alarm is a detection) from the
+	// flash-crowd control (an alarm is a false positive).
+	Hostile bool
+	// MeanRate is the designed mean attack SYN rate in SYN/s.
+	MeanRate float64
+}
+
+// TruthSet returns the ground-truth keys as a membership set.
+func (s *Scenario) TruthSet() map[netip.Prefix]bool {
+	m := make(map[netip.Prefix]bool, len(s.Truth))
+	for _, k := range s.Truth {
+		m[k] = true
+	}
+	return m
+}
+
+// fminTruth is the single spoofed /24-equivalent block the pulsing
+// scenarios concentrate on: evasion needs no source spreading, so the
+// ground truth is one key.
+var fminTruth = netip.MustParsePrefix("240.66.77.0/24")
+
+// PulsingUnderFmin builds the Eq. 8 evasion: a duty-cycled flood whose
+// per-period volume stays strictly under the sensitivity floor
+// fmin·t0 = (a−c)·K̄, so the normalized statistic never exceeds the
+// CUSUM offset and no drift accumulates — the flood is invisible at
+// any observation length. The pulse cycle equals t0 and the peak runs
+// at peakMult·fmin, so the attack is very visible instantaneously
+// (packet bursts at many times the floor) yet never per period:
+// exactly the attacker Eq. 8 describes. frac < 1 scales the per-period
+// volume against the floor; the property tests pin that every period's
+// count lands below it.
+func PulsingUnderFmin(p Params, design cusum.Design, kbar, frac, peakMult float64) (*Scenario, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if kbar <= 0 || frac <= 0 || frac >= 1 || peakMult <= frac {
+		return nil, fmt.Errorf("evasion: fmin pulsing needs kbar>0, 0<frac<1, peakMult>frac (got %v, %v, %v)", kbar, frac, peakMult)
+	}
+	fmin := design.MinFloodRate(kbar, p.T0.Seconds())
+	pat := flood.Pulsing{
+		PeakRate: peakMult * fmin,
+		On:       time.Duration(frac / peakMult * float64(p.T0)),
+	}
+	pat.Off = p.T0 - pat.On
+	tr, err := flood.GenerateTrace(flood.Config{
+		Start:       alignUp(p.Onset, p.T0),
+		Duration:    p.Duration,
+		Pattern:     pat,
+		Victim:      p.Victim,
+		VictimPort:  p.VictimPort,
+		SpoofPrefix: fminTruth,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Name = "pulse-under-fmin"
+	return &Scenario{
+		Name:     "pulse-under-fmin",
+		Attack:   tr,
+		Truth:    []netip.Prefix{truthKey(fminTruth.Addr(), p.KeyBits)},
+		Hostile:  true,
+		MeanRate: pat.Mean(),
+	}, nil
+}
+
+// PulsingUnderDelay builds the Eq. 7 evasion: bursts well above fmin
+// (burstMult·fmin for one full period) kept shorter than the detection
+// delay N/(X−a), separated by quiet periods long enough for the CUSUM
+// reflection at zero to drain the accumulated drift. Per burst the
+// statistic climbs by (burstMult−1)·a < N and then decays by a per
+// quiet period, so it never reaches the threshold even though the
+// burst rate is a multiple of the floor.
+func PulsingUnderDelay(p Params, design cusum.Design, kbar, burstMult float64) (*Scenario, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if kbar <= 0 || burstMult <= 1 {
+		return nil, fmt.Errorf("evasion: delay pulsing needs kbar>0 and burstMult>1 (got %v, %v)", kbar, burstMult)
+	}
+	drift := (burstMult - 1) * (design.Offset - design.NormalMean)
+	if drift >= design.Threshold {
+		return nil, fmt.Errorf("evasion: one-period drift %.3f reaches threshold %.3f — burst would be detected", drift, design.Threshold)
+	}
+	// Quiet periods drain the offset a each; one extra period of
+	// margin keeps background noise from stacking across bursts.
+	offPeriods := int(math.Ceil(drift/(design.Offset-design.NormalMean))) + 1
+	fmin := design.MinFloodRate(kbar, p.T0.Seconds())
+	pat := flood.Pulsing{
+		PeakRate: burstMult * fmin,
+		On:       p.T0,
+		Off:      time.Duration(offPeriods) * p.T0,
+	}
+	tr, err := flood.GenerateTrace(flood.Config{
+		Start:       alignUp(p.Onset, p.T0),
+		Duration:    p.Duration,
+		Pattern:     pat,
+		Victim:      p.Victim,
+		VictimPort:  p.VictimPort,
+		SpoofPrefix: fminTruth,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Name = "pulse-under-delay"
+	return &Scenario{
+		Name:     "pulse-under-delay",
+		Attack:   tr,
+		Truth:    []netip.Prefix{truthKey(fminTruth.Addr(), p.KeyBits)},
+		Hostile:  true,
+		MeanRate: pat.Mean(),
+	}, nil
+}
+
+// SingleSource builds the non-evasive baseline the matrix calibrates
+// against: a constant flood well above fmin spoofing one key, the
+// attack the paper evaluates and the attribution engine names. Against
+// it, detection must be prompt, attribution exact, and mitigation can
+// scope to the one attributed prefix with zero collateral.
+func SingleSource(p Params, rate float64) (*Scenario, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("evasion: single source needs a positive rate (got %v)", rate)
+	}
+	tr, err := flood.GenerateTrace(flood.Config{
+		Start:       p.Onset,
+		Duration:    p.Duration,
+		Pattern:     flood.Constant{PerSecond: rate},
+		Victim:      p.Victim,
+		VictimPort:  p.VictimPort,
+		SpoofPrefix: fminTruth,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Name = "single-source"
+	return &Scenario{
+		Name:     "single-source",
+		Attack:   tr,
+		Truth:    []netip.Prefix{truthKey(fminTruth.Addr(), p.KeyBits)},
+		Hostile:  true,
+		MeanRate: rate,
+	}, nil
+}
+
+// SlowDrip builds the many-source flood that stresses Space-Saving
+// admission: totalRate SYN/s spread round-robin over nKeys distinct
+// source keys, each key persisting for the whole attack at a trickle
+// far below any per-key floor. Size nKeys above the tracker's
+// MaxSources and admission must recycle state continuously — the
+// eviction counters, not silent truncation, are what the scenario
+// verifies downstream.
+func SlowDrip(p Params, totalRate float64, nKeys int) (*Scenario, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if totalRate <= 0 || nKeys < 1 {
+		return nil, fmt.Errorf("evasion: slow drip needs positive rate and keys (got %v, %d)", totalRate, nKeys)
+	}
+	if nKeys > keySpace(p.KeyBits) {
+		return nil, fmt.Errorf("evasion: %d keys exceed the churn block's %d-key space", nKeys, keySpace(p.KeyBits))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	tr := &trace.Trace{Name: "slow-drip", Span: p.Onset + p.Duration}
+	truth := make([]netip.Prefix, nKeys)
+	for i := range truth {
+		truth[i] = nthKey(i, p.KeyBits)
+	}
+	gap := time.Duration(float64(time.Second) / totalRate)
+	i := 0
+	for ts := p.Onset; ts < p.Onset+p.Duration; ts += gap {
+		key := truth[i%nKeys]
+		tr.Records = append(tr.Records, trace.Record{
+			Ts:      ts,
+			Kind:    packet.KindSYN,
+			Dir:     trace.DirOut,
+			Src:     hostIn(key, rng),
+			Dst:     p.Victim,
+			SrcPort: ephemeral(rng),
+			DstPort: p.VictimPort,
+		})
+		i++
+	}
+	return &Scenario{
+		Name:     "slow-drip",
+		Attack:   tr,
+		Truth:    truth,
+		Hostile:  true,
+		MeanRate: totalRate,
+	}, nil
+}
+
+// SpoofChurn builds the keying-defeat flood: every SYN spoofs a source
+// in a fresh key, walking the churn block sequentially and never
+// returning. No key ever sees a second period of pressure, so no
+// per-key CUSUM can accumulate drift — attribution at any -key-bits
+// width comes up empty while the aggregate detector still sees the
+// full volume.
+func SpoofChurn(p Params, totalRate float64) (*Scenario, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if totalRate <= 0 {
+		return nil, fmt.Errorf("evasion: spoof churn needs a positive rate (got %v)", totalRate)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	tr := &trace.Trace{Name: "spoof-churn", Span: p.Onset + p.Duration}
+	var truth []netip.Prefix
+	space := keySpace(p.KeyBits)
+	gap := time.Duration(float64(time.Second) / totalRate)
+	i := 0
+	for ts := p.Onset; ts < p.Onset+p.Duration; ts += gap {
+		key := nthKey(i%space, p.KeyBits)
+		if i < space {
+			truth = append(truth, key)
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			Ts:      ts,
+			Kind:    packet.KindSYN,
+			Dir:     trace.DirOut,
+			Src:     hostIn(key, rng),
+			Dst:     p.Victim,
+			SrcPort: ephemeral(rng),
+			DstPort: p.VictimPort,
+		})
+		i++
+	}
+	return &Scenario{
+		Name:     "spoof-churn",
+		Attack:   tr,
+		Truth:    truth,
+		Hostile:  true,
+		MeanRate: totalRate,
+	}, nil
+}
+
+// FlashCrowd builds the false-positive control: a legitimate SYN surge
+// from inside the stub toward one popular external destination, every
+// SYN answered by a SYN/ACK one RTT later. The SYN-SYN/ACK balance the
+// detector keys on is preserved, so a correct detector raises no alarm
+// no matter how large the surge — the survey literature's classic
+// failure mode for raw SYN-count detectors.
+func FlashCrowd(p Params, stub netip.Prefix, surgeRate float64, rtt time.Duration) (*Scenario, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if !stub.IsValid() || surgeRate <= 0 || rtt <= 0 {
+		return nil, fmt.Errorf("evasion: flash crowd needs a stub prefix, positive rate and RTT")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	hot := netip.MustParseAddr("198.51.100.80") // the suddenly-popular server
+	tr := &trace.Trace{Name: "flash-crowd", Span: p.Onset + p.Duration}
+	gap := time.Duration(float64(time.Second) / surgeRate)
+	for ts := p.Onset; ts < p.Onset+p.Duration; ts += gap {
+		src := hostIn(stub, rng)
+		sport := ephemeral(rng)
+		tr.Records = append(tr.Records, trace.Record{
+			Ts: ts, Kind: packet.KindSYN, Dir: trace.DirOut,
+			Src: src, Dst: hot, SrcPort: sport, DstPort: 80,
+		})
+		if back := ts + rtt; back < tr.Span {
+			tr.Records = append(tr.Records, trace.Record{
+				Ts: back, Kind: packet.KindSYNACK, Dir: trace.DirIn,
+				Src: hot, Dst: src, SrcPort: 80, DstPort: sport,
+			})
+		}
+	}
+	tr.Sort()
+	return &Scenario{
+		Name:     "flash-crowd",
+		Attack:   tr,
+		Hostile:  false,
+		MeanRate: surgeRate,
+	}, nil
+}
+
+// Handshake is one legitimate victim-bound connection attempt: the
+// accept-queue scoring replays these against the victim's TCP server
+// and counts how many complete their handshakes while mitigation is
+// active.
+type Handshake struct {
+	Ts      time.Duration
+	Src     netip.Addr
+	SrcPort uint16
+}
+
+// VictimClients builds the legitimate client stream against the
+// victim: rate conn/s from distinct in-stub hosts over [0, span),
+// each rendered in the sniffer trace as an outgoing SYN answered by
+// the victim's SYN/ACK one RTT later. The returned handshake list is
+// the ground truth the accept-queue simulation scores survival
+// against; the trace overlay keeps the detection pass consistent with
+// what the egress sniffer would see.
+func VictimClients(p Params, stub netip.Prefix, rate float64, rtt time.Duration, span time.Duration) (*trace.Trace, []Handshake, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	if !stub.IsValid() || rate <= 0 || rtt <= 0 || span <= 0 {
+		return nil, nil, errors.New("evasion: victim clients need a stub prefix, positive rate, RTT and span")
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 0x5eed))
+	tr := &trace.Trace{Name: "victim-clients", Span: span}
+	var hs []Handshake
+	gap := time.Duration(float64(time.Second) / rate)
+	for ts := time.Duration(0); ts < span; ts += gap {
+		src := hostIn(stub, rng)
+		sport := ephemeral(rng)
+		hs = append(hs, Handshake{Ts: ts, Src: src, SrcPort: sport})
+		tr.Records = append(tr.Records, trace.Record{
+			Ts: ts, Kind: packet.KindSYN, Dir: trace.DirOut,
+			Src: src, Dst: p.Victim, SrcPort: sport, DstPort: p.VictimPort,
+		})
+		if back := ts + rtt; back < span {
+			tr.Records = append(tr.Records, trace.Record{
+				Ts: back, Kind: packet.KindSYNACK, Dir: trace.DirIn,
+				Src: p.Victim, Dst: src, SrcPort: p.VictimPort, DstPort: sport,
+			})
+		}
+	}
+	tr.Sort()
+	return tr, hs, nil
+}
+
+// alignUp snaps the attack onset to the next period boundary. The
+// pulsing evasions duty-cycle against the detector's period grid, so
+// their per-period guarantees hold only when bursts and periods stay
+// in phase.
+func alignUp(d, t0 time.Duration) time.Duration {
+	if rem := d % t0; rem != 0 {
+		return d + t0 - rem
+	}
+	return d
+}
+
+// keySpace returns how many distinct keys of the given width fit in
+// the churn block.
+func keySpace(keyBits int) int {
+	bits := keyBits - ChurnBase.Bits()
+	if bits <= 0 {
+		return 1
+	}
+	if bits > 20 {
+		bits = 20 // cap the enumeration; 1M keys dwarf any tracker
+	}
+	return 1 << bits
+}
+
+// nthKey enumerates distinct keys of the given width inside the churn
+// block: key i occupies the i-th aligned sub-block.
+func nthKey(i, keyBits int) netip.Prefix {
+	base := ChurnBase.Masked().Addr().As4()
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v += uint32(i) << (32 - keyBits)
+	addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	p, _ := addr.Prefix(keyBits)
+	return p
+}
+
+// truthKey masks an address to the ground-truth key width.
+func truthKey(a netip.Addr, keyBits int) netip.Prefix {
+	p, _ := a.Prefix(keyBits)
+	return p
+}
+
+// hostIn draws a random host inside the prefix.
+func hostIn(prefix netip.Prefix, rng *rand.Rand) netip.Addr {
+	return flood.SpoofedAddr(prefix, rng)
+}
+
+// ephemeral draws an ephemeral source port.
+func ephemeral(rng *rand.Rand) uint16 {
+	return uint16(1024 + rng.Intn(64000))
+}

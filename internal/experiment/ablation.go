@@ -39,6 +39,7 @@ func AblationRegistry() []Experiment {
 		{"ablation-deployment", "Incremental deployability: partial SYN-dog coverage", AblationDeployment},
 		{"ablation-posterior", "Sequential vs posterior change detection", AblationPosterior},
 		{"attribution", "Per-source attribution: keyed recall/precision vs aggregate detection", AblationAttribution},
+		{"evasion", "Adversarial evasion matrix with closed-loop mitigation scoring", AblationEvasion},
 	}
 }
 

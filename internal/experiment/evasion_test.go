@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// evasionRows renders the evasion matrix once and returns the raw
+// bytes plus the rows indexed by scenario name.
+func evasionRows(t *testing.T, opts Options) ([]byte, map[string][]string) {
+	t.Helper()
+	arts, err := AblationEvasion(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("expected 1 artifact, got %d", len(arts))
+	}
+	tab, ok := arts[0].(*Table)
+	if !ok {
+		t.Fatalf("artifact is %T, want *Table", arts[0])
+	}
+	rows := make(map[string][]string, len(tab.Rows))
+	for _, r := range tab.Rows {
+		rows[r[0]] = r
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rows
+}
+
+// TestEvasionMatrixDeterministic pins the reproducibility contract:
+// the same seed renders the scenario matrix byte-identically (text and
+// CSV), including across different parallelism settings, and a
+// different seed still produces the full scenario set.
+func TestEvasionMatrixDeterministic(t *testing.T) {
+	opts := Options{Seed: 1, Fast: true, Parallelism: 4}
+	first, _ := evasionRows(t, opts)
+	second, _ := evasionRows(t, opts)
+	if !bytes.Equal(first, second) {
+		t.Errorf("same seed diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", first, second)
+	}
+	opts.Parallelism = 1
+	serial, _ := evasionRows(t, opts)
+	if !bytes.Equal(first, serial) {
+		t.Errorf("parallelism changed the matrix:\n--- par=4 ---\n%s\n--- par=1 ---\n%s", first, serial)
+	}
+}
+
+// TestEvasionMatrixOutcomes pins the qualitative shape of the matrix
+// that the issue demands: the flash crowd must raise zero alarms and
+// lose no legitimate handshakes; the theory-guided pulsing attacks
+// must evade; every hostile detected scenario must carry a
+// time-to-detect, an attribution verdict and a survival score; and the
+// single-source flood must be attributed precisely enough that keyed
+// mitigation passes almost no attack traffic.
+func TestEvasionMatrixOutcomes(t *testing.T) {
+	_, rows := evasionRows(t, Options{Seed: 1, Fast: true, Parallelism: 4})
+	for _, name := range []string{"single-source", "pulse-under-fmin", "pulse-under-delay",
+		"slow-drip", "spoof-churn", "flash-crowd"} {
+		if _, ok := rows[name]; !ok {
+			t.Fatalf("scenario %q missing from matrix", name)
+		}
+	}
+	const (
+		colAlarm    = 2
+		colTTD      = 3
+		colPrec     = 4
+		colRecall   = 5
+		colMode     = 6
+		colPass     = 7
+		colSurvival = 8
+	)
+
+	fc := rows["flash-crowd"]
+	if fc[colAlarm] != "no" {
+		t.Errorf("flash crowd alarmed: %v", fc)
+	}
+	if fc[colSurvival] != "1.00" {
+		t.Errorf("flash crowd lost legitimate handshakes: %v", fc)
+	}
+	if fc[colMode] != "none" {
+		t.Errorf("flash crowd triggered mitigation: %v", fc)
+	}
+
+	for _, name := range []string{"pulse-under-fmin", "pulse-under-delay"} {
+		if r := rows[name]; r[colAlarm] != "no" {
+			t.Errorf("%s should evade detection: %v", name, r)
+		}
+	}
+
+	for _, name := range []string{"single-source", "slow-drip", "spoof-churn"} {
+		r := rows[name]
+		if r[colAlarm] != "yes" {
+			t.Errorf("%s should be detected at the aggregate: %v", name, r)
+			continue
+		}
+		if r[colTTD] == "-" {
+			t.Errorf("%s detected but no time-to-detect: %v", name, r)
+		}
+		if r[colRecall] == "-" {
+			t.Errorf("%s detected but no attribution verdict: %v", name, r)
+		}
+		if r[colPass] == "-" || r[colSurvival] == "" {
+			t.Errorf("%s detected but mitigation unscored: %v", name, r)
+		}
+	}
+
+	ss := rows["single-source"]
+	if ss[colPrec] != "1.00" || ss[colRecall] != "1.00" {
+		t.Errorf("single source should be attributed exactly: %v", ss)
+	}
+	if ss[colMode] != "keyed" {
+		t.Errorf("attributed flood should get keyed mitigation: %v", ss)
+	}
+
+	// The many-source scenarios defeat /24 attribution by design; the
+	// loop must fall back to blanket throttling rather than silently
+	// doing nothing.
+	for _, name := range []string{"slow-drip", "spoof-churn"} {
+		r := rows[name]
+		if r[colMode] != "blanket" {
+			t.Errorf("%s should force the blanket fallback: %v", name, r)
+		}
+		if r[colRecall] != "0.00" {
+			t.Errorf("%s should report zero keyed recall, got: %v", name, r)
+		}
+	}
+}

@@ -82,8 +82,9 @@ func TestRunCrossPathPatterns(t *testing.T) {
 	p := trace.Auckland()
 	p.Span = 15 * time.Minute
 	patterns := map[string]flood.Pattern{
-		"bursty": flood.Bursty{PeakRate: 16, On: 30 * time.Second, Off: 30 * time.Second},
-		"ramp":   flood.Ramp{StartRate: 0, EndRate: 16, Span: 5 * time.Minute},
+		"bursty":  flood.Bursty{PeakRate: 16, On: 30 * time.Second, Off: 30 * time.Second},
+		"pulsing": flood.Pulsing{PeakRate: 24, On: 10 * time.Second, Off: 30 * time.Second},
+		"ramp":    flood.Ramp{StartRate: 0, EndRate: 16, Span: 5 * time.Minute},
 	}
 	for name, pat := range patterns {
 		pat := pat

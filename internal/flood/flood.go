@@ -92,6 +92,43 @@ func (b Bursty) Mean() float64 {
 	return b.PeakRate * float64(b.On) / float64(cycle)
 }
 
+// Pulsing is the deterministic duty-cycled attack the evasion suite
+// studies: exact-grid bursts at PeakRate during each On window,
+// silence during Off. It shares Bursty's rate envelope but not its
+// arrival process — Bursty Poisson-thins against the peak (a noisy
+// flood tool), while Pulsing emits on a precise schedule, which is how
+// an attacker exploiting the fmin (Eq. 8) and detection-delay (Eq. 7)
+// bounds must behave: the evasion margins are deterministic
+// guarantees, not expectations.
+type Pulsing struct {
+	PeakRate float64
+	On, Off  time.Duration
+}
+
+// Rate implements Pattern.
+func (p Pulsing) Rate(t time.Duration) float64 {
+	cycle := p.On + p.Off
+	if cycle <= 0 {
+		return 0
+	}
+	if t%cycle < p.On {
+		return p.PeakRate
+	}
+	return 0
+}
+
+// Peak implements Pattern.
+func (p Pulsing) Peak() float64 { return p.PeakRate }
+
+// Mean implements Pattern.
+func (p Pulsing) Mean() float64 {
+	cycle := p.On + p.Off
+	if cycle <= 0 {
+		return 0
+	}
+	return p.PeakRate * float64(p.On) / float64(cycle)
+}
+
 // Ramp grows linearly from StartRate to EndRate over Span, modeling a
 // botnet spinning up slaves gradually.
 type Ramp struct {
@@ -174,8 +211,11 @@ func Times(cfg Config) ([]time.Duration, error) {
 		return nil, err
 	}
 	var out []time.Duration
-	if c, ok := cfg.Pattern.(Constant); ok {
-		out = make([]time.Duration, 0, int(c.PerSecond*cfg.Duration.Seconds()))
+	switch p := cfg.Pattern.(type) {
+	case Constant:
+		out = make([]time.Duration, 0, int(p.PerSecond*cfg.Duration.Seconds()))
+	case Pulsing:
+		out = make([]time.Duration, 0, int(p.Mean()*cfg.Duration.Seconds()))
 	}
 	visitTimes(cfg, func(t time.Duration) {
 		out = append(out, t)
@@ -188,17 +228,38 @@ func Times(cfg Config) ([]time.Duration, error) {
 // generator, so counting arrivals is arithmetic-for-arithmetic the
 // same process as materializing them.
 func visitTimes(cfg Config, fn func(time.Duration)) {
-	if c, ok := cfg.Pattern.(Constant); ok {
-		constantVisit(cfg.Start, cfg.Duration, c.PerSecond, fn)
-		return
+	switch p := cfg.Pattern.(type) {
+	case Constant:
+		constantVisit(cfg.Start, cfg.Duration, p.PerSecond, fn)
+	case Pulsing:
+		pulsingVisit(cfg.Start, cfg.Duration, p, fn)
+	default:
+		thinnedVisit(cfg, fn)
 	}
-	thinnedVisit(cfg, fn)
 }
 
 func constantVisit(start, duration time.Duration, rate float64, fn func(time.Duration)) {
 	gap := time.Duration(float64(time.Second) / rate)
 	for t := start; t < start+duration; t += gap {
 		fn(t)
+	}
+}
+
+// pulsingVisit emits an exact constant grid inside each On window.
+// The burst that straddles the flood end is truncated, never extended,
+// so every arrival stays inside [start, start+duration).
+func pulsingVisit(start, duration time.Duration, p Pulsing, fn func(time.Duration)) {
+	cycle := p.On + p.Off
+	if cycle <= 0 || p.On <= 0 {
+		return
+	}
+	end := start + duration
+	for cs := start; cs < end; cs += cycle {
+		on := p.On
+		if cs+on > end {
+			on = end - cs
+		}
+		constantVisit(cs, on, p.PeakRate, fn)
 	}
 }
 
@@ -299,6 +360,8 @@ func patternName(p Pattern) string {
 		return "constant"
 	case Bursty:
 		return "bursty"
+	case Pulsing:
+		return "pulsing"
 	case Ramp:
 		return "ramp"
 	default:

@@ -47,6 +47,17 @@ func TestPatternRates(t *testing.T) {
 		t.Error("degenerate bursty cycle should be silent")
 	}
 
+	p := Pulsing{PeakRate: 100, On: time.Second, Off: 3 * time.Second}
+	if p.Rate(500*time.Millisecond) != 100 || p.Rate(2*time.Second) != 0 {
+		t.Error("pulsing duty cycle wrong")
+	}
+	if p.Peak() != 100 || math.Abs(p.Mean()-25) > 1e-9 {
+		t.Errorf("pulsing peak/mean = %v/%v, want 100/25", p.Peak(), p.Mean())
+	}
+	if (Pulsing{PeakRate: 100}).Rate(0) != 0 || (Pulsing{PeakRate: 100}).Mean() != 0 {
+		t.Error("degenerate pulsing cycle should be silent")
+	}
+
 	r := Ramp{StartRate: 0, EndRate: 100, Span: 10 * time.Second}
 	if r.Rate(0) != 0 || r.Rate(5*time.Second) != 50 || r.Rate(20*time.Second) != 100 {
 		t.Error("ramp interpolation wrong")
@@ -103,6 +114,51 @@ func TestBurstyTimesMatchDutyCycle(t *testing.T) {
 		off := (ts - cfg.Start) % (4 * time.Second)
 		if off >= 2*time.Second {
 			t.Fatalf("emission at %v lies in an OFF window", ts)
+		}
+	}
+}
+
+// TestPulsingTimesDeterministicGrid pins the property the evasion
+// suite leans on: Pulsing is an exact schedule, not a thinned draw —
+// emissions land only inside On windows, every burst carries the same
+// count, and the seed plays no part in the arrival times.
+func TestPulsingTimesDeterministicGrid(t *testing.T) {
+	pat := Pulsing{PeakRate: 50, On: 2 * time.Second, Off: 6 * time.Second}
+	cfg := baseConfig(pat)
+	times, err := Times(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := pat.On + pat.Off
+	perBurst := map[int]int{}
+	for _, ts := range times {
+		off := (ts - cfg.Start) % cycle
+		if off >= pat.On {
+			t.Fatalf("emission at %v lies in an Off window", ts)
+		}
+		perBurst[int((ts-cfg.Start)/cycle)]++
+	}
+	bursts := int(cfg.Duration / cycle)
+	if len(perBurst) != bursts {
+		t.Fatalf("%d bursts, want %d", len(perBurst), bursts)
+	}
+	want := int(pat.PeakRate * pat.On.Seconds())
+	for b, n := range perBurst {
+		if n != want {
+			t.Errorf("burst %d emitted %d, want exactly %d", b, n, want)
+		}
+	}
+	cfg.Seed = cfg.Seed + 999
+	again, err := Times(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(times) {
+		t.Fatalf("seed changed arrival count: %d vs %d", len(again), len(times))
+	}
+	for i := range times {
+		if times[i] != again[i] {
+			t.Fatalf("seed changed arrival %d: %v vs %v", i, times[i], again[i])
 		}
 	}
 }
@@ -363,6 +419,7 @@ func TestCountPerPeriodMatchesGenerateTrace(t *testing.T) {
 	patterns := map[string]Pattern{
 		"constant": Constant{PerSecond: 45},
 		"bursty":   Bursty{PeakRate: 100, On: 2 * time.Second, Off: 2 * time.Second},
+		"pulsing":  Pulsing{PeakRate: 90, On: 3 * time.Second, Off: 7 * time.Second},
 		"ramp":     Ramp{StartRate: 0, EndRate: 80, Span: 5 * time.Minute},
 	}
 	for name, p := range patterns {

@@ -1,0 +1,56 @@
+package flood
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzPulsingCountsMatchRecords fuzzes the cross-path equivalence for
+// the Pulsing pattern: binning the arrival process with CountPerPeriod
+// must equal rendering records with GenerateTrace and aggregating
+// them, for arbitrary duty cycles, rates, offsets and period lengths —
+// including degenerate cycles, bursts straddling period boundaries and
+// arrivals dropped past the last complete period.
+func FuzzPulsingCountsMatchRecords(f *testing.F) {
+	f.Add(uint16(90), uint8(3), uint8(7), uint16(60), uint16(600), uint8(20), int64(1))
+	f.Add(uint16(7), uint8(1), uint8(0), uint16(0), uint16(90), uint8(5), int64(42))
+	f.Add(uint16(250), uint8(19), uint8(1), uint16(13), uint16(301), uint8(17), int64(-9))
+	f.Fuzz(func(t *testing.T, rateRaw uint16, onRaw, offRaw uint8, startRaw, durRaw uint16, t0Raw uint8, seed int64) {
+		pat := Pulsing{
+			PeakRate: 1 + float64(rateRaw%400),
+			On:       time.Duration(onRaw%30) * time.Second,
+			Off:      time.Duration(offRaw%30) * time.Second,
+		}
+		cfg := Config{
+			Start:      time.Duration(startRaw%120) * time.Second,
+			Duration:   time.Duration(1+durRaw%900) * time.Second,
+			Pattern:    pat,
+			Victim:     victim,
+			VictimPort: 80,
+			Seed:       seed,
+		}
+		t0 := time.Duration(1+t0Raw%40) * time.Second
+		// Fewer periods than the flood spans, so both paths must drop
+		// the same tail.
+		periods := int((cfg.Start + cfg.Duration) / t0 / 2)
+		got, err := CountPerPeriod(cfg, t0, periods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := GenerateTrace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, periods)
+		for _, r := range tr.Records {
+			if idx := int(r.Ts / t0); idx < periods {
+				want[idx]++
+			}
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("period %d: counts path %v, record path %v", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -183,5 +184,104 @@ func TestProxyIgnoresUnrelatedTraffic(t *testing.T) {
 		1, 2, packet.FlagSYN|packet.FlagACK))
 	if h.proxy.Stats().Spliced != 0 {
 		t.Error("phantom splice")
+	}
+}
+
+// TestProxySustainedFloodFractions drives the proxy with a sustained
+// spoofed flood interleaved with legitimate clients arriving at 1
+// conn/s, at several flood rates. The stateless cookie phase must
+// absorb the whole flood (zero attack SYNs reach the server), every
+// legitimate client must splice (pass-through 1.0), and the proxy's
+// per-connection state must stay at the in-flight handful rather than
+// scaling with the flood.
+func TestProxySustainedFloodFractions(t *testing.T) {
+	for _, floodRate := range []float64{50, 200} {
+		floodRate := floodRate
+		t.Run(fmt.Sprintf("flood=%v", floodRate), func(t *testing.T) {
+			const dur = 30 * time.Second
+			rtt := 40 * time.Millisecond
+			sim := eventsim.New()
+			var proxy *SynProxy
+			var server *tcp.Server
+			legitPorts := make(map[uint16]bool)
+			toClient := func(seg packet.Segment) {
+				if seg.Kind() != packet.KindSYNACK {
+					return
+				}
+				if seg.IP.Dst != clientAddr || !legitPorts[seg.TCP.DstPort] {
+					return // spoofed target: nobody home to echo the cookie
+				}
+				ack := packet.Build(clientAddr, proxyAddr, seg.TCP.DstPort, 80,
+					seg.TCP.Ack, seg.TCP.Seq+1, packet.FlagACK)
+				sim.After(rtt, func(now time.Duration) {
+					proxy.DeliverFromClient(now, ack)
+				})
+			}
+			server, err := tcp.NewServer(sim, proxyAddr, 80,
+				func(seg packet.Segment) { proxy.DeliverFromServer(0, seg) },
+				tcp.ServerConfig{Backlog: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			proxy, err = NewSynProxy(sim, proxyAddr, 80, 77, toClient,
+				func(seg packet.Segment) { server.Deliver(0, seg) })
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			floodSYNs := 0
+			src := netip.MustParseAddr("240.0.0.1")
+			gap := time.Duration(float64(time.Second) / floodRate)
+			for ts := time.Duration(0); ts < dur; ts += gap {
+				s, seq := src, uint32(floodSYNs)
+				if _, err := sim.At(ts, func(now time.Duration) {
+					proxy.DeliverFromClient(now, packet.Build(s, proxyAddr, 2000, 80,
+						seq, 0, packet.FlagSYN))
+				}); err != nil {
+					t.Fatal(err)
+				}
+				src = src.Next()
+				floodSYNs++
+			}
+			legit := 0
+			for ts := 500 * time.Millisecond; ts < dur; ts += time.Second {
+				port := uint16(40000 + legit)
+				legitPorts[port] = true
+				isn := uint32(1000 + legit)
+				if _, err := sim.At(ts, func(now time.Duration) {
+					proxy.DeliverFromClient(now, packet.Build(clientAddr, proxyAddr, port, 80,
+						isn, 0, packet.FlagSYN))
+				}); err != nil {
+					t.Fatal(err)
+				}
+				legit++
+			}
+			sim.Run()
+
+			st := proxy.Stats()
+			if st.SynAnswered != uint64(floodSYNs+legit) {
+				t.Errorf("SynAnswered = %d, want %d", st.SynAnswered, floodSYNs+legit)
+			}
+			if st.BadCookies != 0 {
+				t.Errorf("BadCookies = %d, want 0", st.BadCookies)
+			}
+			if st.Validated != uint64(legit) || st.Spliced != uint64(legit) {
+				t.Errorf("Validated/Spliced = %d/%d, want %d/%d",
+					st.Validated, st.Spliced, legit, legit)
+			}
+			// Legit pass-through 1.0; attack pass-through to the server 0.
+			ss := server.Stats()
+			if int(ss.Established) != legit {
+				t.Errorf("legit established = %d of %d", ss.Established, legit)
+			}
+			if int(ss.SynReceived) != legit {
+				t.Errorf("server saw %d SYNs, want %d (flood must not leak)",
+					ss.SynReceived, legit)
+			}
+			// Splices complete synchronously, so state never accumulates.
+			if st.PeakPending > 2 {
+				t.Errorf("PeakPending = %d, want ≤2 at any flood rate", st.PeakPending)
+			}
+		})
 	}
 }

@@ -316,3 +316,148 @@ func TestConcurrentChanSourceFeeds(t *testing.T) {
 		t.Fatalf("concurrent sharded state differs from sequential single-shard state:\n%+v\n%+v", a.Stats, b.Stats)
 	}
 }
+
+// TestSpaceSavingAdversarialChurn drives the tracker with the workload
+// Space-Saving admission exists for: an attacker rotating spoofed
+// sources across fresh /24s faster than the table can hold them, on
+// top of one persistent heavy flooder and a population of balanced
+// legitimate keys. Bounded memory must degrade loudly, never silently:
+// every recycled state is counted in Evicted, churn survivors carry a
+// non-zero CountErr, SYN/ACKs landing on untracked keys are tallied
+// exactly, and the heavy flooder — the key attribution actually needs
+// — survives the churn and stays alarmed.
+func TestSpaceSavingAdversarialChurn(t *testing.T) {
+	const (
+		maxSources = 16
+		steadyKeys = maxSources - 1
+		churnKeys  = 400
+	)
+	tk, err := New(Config{KeyBits: 24, MaxSources: maxSources, Shards: 1,
+		Agent: core.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := 20 * time.Second
+	victim := netip.MustParseAddr("11.9.9.9")
+	syn := func(ts time.Duration, src netip.Addr) trace.Record {
+		return trace.Record{Ts: ts, Kind: packet.KindSYN, Dir: trace.DirOut,
+			Src: src, Dst: victim, DstPort: 80}
+	}
+	synack := func(ts time.Duration, dst netip.Addr) trace.Record {
+		return trace.Record{Ts: ts, Kind: packet.KindSYNACK, Dir: trace.DirIn,
+			Src: victim, Dst: dst}
+	}
+	attacker := netip.MustParseAddr("240.9.9.1")
+	attackerKey := netip.PrefixFrom(netip.MustParseAddr("240.9.9.0"), 24)
+	steady := make([]netip.Addr, steadyKeys)
+	for i := range steady {
+		steady[i] = netip.AddrFrom4([4]byte{10, 1, byte(i), 5})
+	}
+
+	// Phase A: the attacker floods (SYNs, never answered) while the
+	// steady keys stay balanced. Exactly MaxSources keys exist, so no
+	// admission pressure yet.
+	periods := 0
+	for p := 0; p < 4; p++ {
+		base := time.Duration(p) * t0
+		for i := 0; i < 50; i++ {
+			tk.Record(syn(base+time.Duration(i)*100*time.Millisecond, attacker))
+		}
+		for _, s := range steady {
+			tk.Record(syn(base+time.Second, s))
+			tk.Record(synack(base+time.Second+50*time.Millisecond, s))
+			tk.Record(syn(base+2*time.Second, s))
+			tk.Record(synack(base+2*time.Second+50*time.Millisecond, s))
+		}
+		tk.ClosePeriod(periods, base+t0)
+		periods++
+	}
+	st := tk.Stats()
+	if st.Evicted != 0 {
+		t.Fatalf("evictions before capacity pressure: %d", st.Evicted)
+	}
+	if st.Tracked != maxSources {
+		t.Fatalf("tracked = %d, want %d", st.Tracked, maxSources)
+	}
+
+	// Phase B: spoof churn — churnKeys fresh /24s, one SYN each, all
+	// inside one period. Every arrival is a new key hitting a full
+	// table, so every admission recycles exactly one state.
+	churnBase := time.Duration(periods) * t0
+	for i := 0; i < churnKeys; i++ {
+		src := netip.AddrFrom4([4]byte{241, byte(i >> 8), byte(i), 7})
+		tk.Record(syn(churnBase+time.Duration(i)*time.Millisecond, src))
+	}
+	// The attacker keeps flooding through the churn period.
+	for i := 0; i < 50; i++ {
+		tk.Record(syn(churnBase+time.Second+time.Duration(i)*100*time.Millisecond, attacker))
+	}
+	tk.ClosePeriod(periods, churnBase+t0)
+	periods++
+
+	st = tk.Stats()
+	if st.Evicted != churnKeys {
+		t.Errorf("Evicted = %d, want exactly %d (one recycle per fresh key)",
+			st.Evicted, churnKeys)
+	}
+	if st.Tracked > maxSources {
+		t.Errorf("tracked = %d exceeds MaxSources = %d", st.Tracked, maxSources)
+	}
+
+	// The heavy flooder must survive admission churn (its count dwarfs
+	// every candidate minimum) and must be alarmed: per-key X ≈ 50/MinK
+	// with zero SYN/ACKs, far past the threshold.
+	var attackerRow *SourceReport
+	churnErrs := 0
+	churnRows := 0
+	for _, s := range tk.Sources(0) {
+		s := s
+		if s.Key == attackerKey {
+			attackerRow = &s
+		}
+		if s.Key.Addr().As4()[0] == 241 {
+			churnRows++
+			if s.CountErr > 0 {
+				churnErrs++
+			}
+		}
+	}
+	if attackerRow == nil {
+		t.Fatal("heavy flooder evicted by one-shot churn keys")
+	}
+	if !attackerRow.Alarmed {
+		t.Error("heavy flooder not alarmed after churn")
+	}
+	if attackerRow.CountErr != 0 {
+		t.Errorf("pre-capacity key carries CountErr = %d", attackerRow.CountErr)
+	}
+	// Degradation is visible: churn survivors occupy recycled slots and
+	// every one of them advertises its overestimation bound.
+	if churnRows == 0 {
+		t.Fatal("no churn keys tracked at all")
+	}
+	if churnErrs != churnRows {
+		t.Errorf("%d of %d churn rows carry CountErr > 0; recycled state must not look exact",
+			churnErrs, churnRows)
+	}
+
+	// UntrackedSYNACKs is an exact ledger: SYN/ACKs keyed to evicted or
+	// never-seen keys never admit and are counted one for one.
+	u0 := tk.Stats().UntrackedSYNACKs
+	tailBase := time.Duration(periods) * t0
+	for i := 0; i < 7; i++ {
+		dst := netip.AddrFrom4([4]byte{242, 0, byte(i), 9})
+		tk.Record(synack(tailBase+time.Duration(i)*time.Millisecond, dst))
+	}
+	// The steady keys were the admission casualties (their counts were
+	// the table minimum), so a SYN/ACK for one of them is untracked
+	// too; the surviving attacker key is the tracked control.
+	tk.Record(synack(tailBase+time.Second, attacker))
+	st = tk.Stats()
+	if st.UntrackedSYNACKs != u0+7 {
+		t.Errorf("UntrackedSYNACKs = %d, want %d", st.UntrackedSYNACKs, u0+7)
+	}
+	if st.Tracked > maxSources {
+		t.Errorf("SYN/ACKs admitted keys: tracked = %d", st.Tracked)
+	}
+}
