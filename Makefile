@@ -1,13 +1,14 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test race check bench examples experiments fast-experiments evasion fuzz clean
+.PHONY: all build vet test race check bench examples experiments fast-experiments evasion fuzz soak soak-short clean
 
 all: build vet test
 
 # The full pre-merge gate: static checks, the test suite, the race
-# detector, and the seeded adversarial evasion matrix in one target.
-check: vet test race evasion
+# detector, the seeded adversarial evasion matrix, and a short-budget
+# soak of the multi-agent daemon in one target.
+check: vet test race evasion soak-short
 
 build:
 	$(GO) build ./...
@@ -64,6 +65,18 @@ ablations:
 # attacks. Same seed, byte-identical table.
 evasion:
 	$(GO) run ./cmd/experiment -run evasion -fast
+
+# Multi-agent daemon soak under the race detector: hours of
+# operational churn (checkpoint, kill, resume, live reload) compressed
+# into SOAKTIME, asserting byte-identical final state for agents no
+# reload touched. `make soak` for the full budget; soak-short is the
+# seconds-scale version `make check` runs.
+SOAKTIME ?= 60s
+soak:
+	$(GO) test -race ./internal/daemon/ -run TestSoakChurn -soak $(SOAKTIME) -v
+
+soak-short:
+	$(GO) test -race ./internal/daemon/ -run TestSoakChurn -soak 5s
 
 # 8 seconds per fuzz target; extend FUZZTIME for deeper runs.
 FUZZTIME ?= 8s

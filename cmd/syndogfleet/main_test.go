@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/sourcetrack"
 )
 
 func TestFleetEndToEnd(t *testing.T) {
@@ -133,5 +134,60 @@ func TestFleetSnapshotDirPerTrial(t *testing.T) {
 		if _, err := os.Stat(path); err != nil {
 			t.Errorf("trial %d snapshot: %v", trial, err)
 		}
+	}
+}
+
+// TestFleetSnapshotCarriesKeyedState: the fleet's snapshots include
+// the keyed per-source half, so syndogd -track-sources resumes the
+// attribution evidence too, not just the aggregate CUSUM. Before this,
+// WriteSnapshotFile dropped the tracker state on the floor.
+func TestFleetSnapshotCarriesKeyedState(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-stubs", "3", "-flooders", "1", "-rate", "80",
+		"-duration", "60s", "-onset", "20s", "-t0", "10s", "-seed", "3",
+		"-snapshot-dir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := &sourcetrack.Config{
+		KeyBits:    8,
+		MaxSources: 64,
+		Shards:     1,
+		Agent:      core.Config{T0: 10 * time.Second},
+	}
+	// Stub 0 hosted the slave: its keyed half must restore with the
+	// flood evidence intact — tracked sources, and at least one keyed
+	// alarm pointing at the spoofed blocks.
+	path := filepath.Join(dir, "stub00.json")
+	agent, tracker, resumed, err := daemon.LoadOrNewState(path, core.Config{T0: 10 * time.Second}, track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || tracker == nil {
+		t.Fatalf("resumed = %v, tracker = %v", resumed, tracker)
+	}
+	if tracker.Periods() != len(agent.Reports()) {
+		t.Errorf("period clocks disagree: keyed %d, aggregate %d",
+			tracker.Periods(), len(agent.Reports()))
+	}
+	st := tracker.Stats()
+	if st.Tracked == 0 {
+		t.Error("keyed half restored empty")
+	}
+	alarmed := 0
+	for _, s := range tracker.Sources(0) {
+		if s.Alarmed {
+			alarmed++
+		}
+	}
+	if alarmed == 0 {
+		t.Error("slave stub's keyed alarms were not carried")
+	}
+	// The same file still resumes aggregate-only through the old
+	// keyed-unaware reader (back-compat with pre-keyed snapshots).
+	if _, resumed, err := daemon.LoadOrNewAgent(path, core.Config{T0: 10 * time.Second}); err != nil || !resumed {
+		t.Errorf("aggregate-only read of keyed fleet snapshot: resumed=%v err=%v", resumed, err)
 	}
 }

@@ -99,8 +99,10 @@ type Daemon struct {
 	done         bool
 	replayErr    error
 
-	checkpoints    int
-	lastCheckpoint time.Time
+	checkpoints        int
+	lastCheckpoint     time.Time
+	checkpointFailures int
+	lastCheckpointErr  error
 }
 
 // New validates the trace once at the door and builds a daemon around
@@ -169,6 +171,14 @@ func NewStream(det ingest.Detector, src ingest.Source, info ingest.Info, t0 time
 		d.agent = ad.Agent()
 	}
 	return d, nil
+}
+
+// Close releases the daemon's source. The supervisor (and any caller
+// of BuildAgent) owns daemons whose sources it never opened itself —
+// pcap-backed ones hold an open file — so teardown goes through here.
+// Close does not stop a running replay; cancel its context first.
+func (d *Daemon) Close() error {
+	return d.src.Close()
 }
 
 // ResumeOffset returns how many periods of the capture are skipped
@@ -243,6 +253,12 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 	// skip counter is complete when the first period opens.
 	resumeStart := d.t0 * time.Duration(d.resumeOffset)
 	for {
+		// The drain is unpaced and can cover a multi-gigabyte prefix; it
+		// must stay interruptible or the daemon ignores SIGTERM until
+		// every skipped record has been read.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, ok, err := peek()
 		if err != nil {
 			return err
@@ -375,10 +391,24 @@ func (d *Daemon) Serve(ctx context.Context, listen string, speed float64) error 
 	}
 }
 
+// Run executes the replay and, when configured, the checkpoint loop —
+// Serve without the HTTP plane. The multi-agent supervisor serves many
+// daemons behind one shared listener and drives each with Run.
+func (d *Daemon) Run(ctx context.Context, speed float64) error {
+	if d.opts.StatePath != "" && d.opts.CheckpointInterval > 0 {
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go d.checkpointLoop(cctx)
+	}
+	return d.Replay(ctx, speed)
+}
+
 // checkpointLoop persists the agent every CheckpointInterval until ctx
-// is cancelled. Checkpoint failures are logged, not fatal: the daemon
-// keeps detecting even if its disk is briefly unhappy, and the final
-// shutdown snapshot still runs.
+// is cancelled. Checkpoint failures are logged and counted (the
+// syndog_checkpoint_failures_total metric and /status's
+// lastCheckpointError), not fatal: the daemon keeps detecting even if
+// its disk is briefly unhappy, and the final shutdown snapshot still
+// runs.
 func (d *Daemon) checkpointLoop(ctx context.Context) {
 	t := time.NewTicker(d.opts.CheckpointInterval)
 	defer t.Stop()

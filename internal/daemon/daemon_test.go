@@ -703,3 +703,115 @@ func TestServeLifecycle(t *testing.T) {
 		t.Error("resumed run diverged from uninterrupted run")
 	}
 }
+
+// countingSource wraps a Source and counts how many records were read
+// off it — the probe for the resume-drain cancellation test.
+type countingSource struct {
+	src   ingest.Source
+	reads int
+}
+
+func (c *countingSource) Next() (trace.Record, error) {
+	c.reads++
+	return c.src.Next()
+}
+
+func (c *countingSource) Close() error { return c.src.Close() }
+
+// TestReplayDrainRespectsContext is the regression test for the
+// unkillable resume drain: a daemon resuming deep into a capture
+// drains the entire skipped prefix record by record, and the pre-fix
+// loop never looked at ctx — SIGTERM was ignored until the drain
+// finished. A cancelled context must stop the drain after at most one
+// read.
+func TestReplayDrainRespectsContext(t *testing.T) {
+	tr := testTrace(t, true)
+	t0 := core.DefaultObservationPeriod
+
+	// First boot: 20 of 30 periods done, then stopped.
+	const k = 20
+	a1, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a1.ProcessTrace(truncated(tr, k*t0)); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.RestoreAgent(a1.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot resumes over the full stream — and is killed before
+	// the drain of the k skipped periods can finish.
+	src := &countingSource{src: ingest.NewTraceSource(tr)}
+	d, err := NewStream(ingest.WrapAgent(a2), src,
+		ingest.Info{Name: tr.Name, Span: tr.Span, Records: len(tr.Records)}, t0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ResumeOffset() != k {
+		t.Fatalf("resume offset = %d, want %d", d.ResumeOffset(), k)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Replay(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Replay = %v, want context.Canceled", err)
+	}
+	// The skipped prefix holds thousands of records; a cancelled drain
+	// must not have churned through them.
+	if src.reads > 1 {
+		t.Errorf("cancelled drain read %d records from the source", src.reads)
+	}
+	s := d.Status()
+	if s.ReplayDone || s.ReplayError != "" {
+		t.Errorf("cancelled drain recorded done=%v err=%q", s.ReplayDone, s.ReplayError)
+	}
+}
+
+// TestCheckpointFailureObservability is the regression test for silent
+// checkpoint failures: a failing checkpoint must surface in /status
+// (checkpointFailures, lastCheckpointError) and /metrics
+// (syndog_checkpoint_failures_total), and a later success must clear
+// the error while keeping the count.
+func TestCheckpointFailureObservability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "subdir", "state.json") // parent missing: writes fail
+	d := newTestDaemon(t, true, Options{StatePath: path})
+	if err := d.Replay(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Checkpoint(); err == nil {
+		t.Fatal("checkpoint into a missing directory succeeded")
+	}
+	s := d.Status()
+	if s.CheckpointFailures != 1 || s.Checkpoints != 0 {
+		t.Errorf("failures=%d checkpoints=%d, want 1/0", s.CheckpointFailures, s.Checkpoints)
+	}
+	if s.LastCheckpointError == "" {
+		t.Error("lastCheckpointError empty after a failed checkpoint")
+	}
+	if _, body := get(t, d, "/metrics"); !strings.Contains(body, "syndog_checkpoint_failures_total 1") {
+		t.Error("metrics missing syndog_checkpoint_failures_total 1")
+	}
+
+	// The disk recovers: the next checkpoint succeeds, clears the error
+	// and leaves the failure count as history.
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s = d.Status()
+	if s.CheckpointFailures != 1 || s.Checkpoints != 1 {
+		t.Errorf("after recovery: failures=%d checkpoints=%d, want 1/1", s.CheckpointFailures, s.Checkpoints)
+	}
+	if s.LastCheckpointError != "" {
+		t.Errorf("lastCheckpointError %q not cleared by success", s.LastCheckpointError)
+	}
+	if _, body := get(t, d, "/metrics"); !strings.Contains(body, "syndog_checkpoint_failures_total 1") {
+		t.Error("failure count lost from metrics after recovery")
+	}
+}

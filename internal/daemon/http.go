@@ -35,7 +35,12 @@ type Status struct {
 	SourcesEvicted   uint64        `json:"sourcesEvicted"`
 	Checkpoints      int           `json:"checkpoints"`
 	CheckpointAge    time.Duration `json:"checkpointAgeNanos,omitempty"`
-	T0               time.Duration `json:"t0Nanos"`
+	// CheckpointFailures counts failed checkpoint writes;
+	// LastCheckpointError is the most recent failure, cleared by the
+	// next success.
+	CheckpointFailures  int           `json:"checkpointFailures"`
+	LastCheckpointError string        `json:"lastCheckpointError,omitempty"`
+	T0                  time.Duration `json:"t0Nanos"`
 }
 
 // Status returns a consistent snapshot of the daemon's state.
@@ -44,17 +49,21 @@ func (d *Daemon) Status() Status {
 	defer d.mu.Unlock()
 	reports := d.det.Reports()
 	s := Status{
-		Trace:            d.srcName,
-		Periods:          len(reports),
-		TotalPeriods:     d.totalPeriods,
-		ResumeOffset:     d.resumeOffset,
-		RecordsProcessed: d.records,
-		RecordsSkipped:   d.skipped,
-		KBar:             d.det.KBar(),
-		Alarmed:          d.det.Alarmed(),
-		ReplayDone:       d.done,
-		Checkpoints:      d.checkpoints,
-		T0:               d.t0,
+		Trace:              d.srcName,
+		Periods:            len(reports),
+		TotalPeriods:       d.totalPeriods,
+		ResumeOffset:       d.resumeOffset,
+		RecordsProcessed:   d.records,
+		RecordsSkipped:     d.skipped,
+		KBar:               d.det.KBar(),
+		Alarmed:            d.det.Alarmed(),
+		ReplayDone:         d.done,
+		Checkpoints:        d.checkpoints,
+		CheckpointFailures: d.checkpointFailures,
+		T0:                 d.t0,
+	}
+	if d.lastCheckpointErr != nil {
+		s.LastCheckpointError = d.lastCheckpointErr.Error()
 	}
 	if d.replayErr != nil {
 		s.ReplayError = d.replayErr.Error()
@@ -88,30 +97,55 @@ func (d *Daemon) Status() Status {
 // ledger plus the ranked most-suspect keys. Enabled is false (and the
 // rest zero) when the daemon runs without -track-sources.
 type SourcesPayload struct {
-	Enabled    bool                       `json:"enabled"`
-	KeyBits    int                        `json:"keyBits,omitempty"`
-	MaxSources int                        `json:"maxSources,omitempty"`
-	Periods    int                        `json:"periods,omitempty"`
-	Stats      sourcetrack.TrackerStats   `json:"stats"`
-	Sources    []sourcetrack.SourceReport `json:"sources"`
+	Enabled    bool `json:"enabled"`
+	KeyBits    int  `json:"keyBits,omitempty"`
+	MaxSources int  `json:"maxSources,omitempty"`
+	Periods    int  `json:"periods,omitempty"`
+	// Total is the full ranked population size; Offset is where the
+	// returned page starts within it. Together they make truncation
+	// visible and let clients page through every key.
+	Total   int                        `json:"total"`
+	Offset  int                        `json:"offset"`
+	Stats   sourcetrack.TrackerStats   `json:"stats"`
+	Sources []sourcetrack.SourceReport `json:"sources"`
 }
 
-// Sources returns the /sources payload with at most n ranked keys
-// (n <= 0 means all).
-func (d *Daemon) Sources(n int) SourcesPayload {
+// Sources returns the /sources payload: the page of n ranked keys
+// starting at offset. n == 0 returns no rows (headers and stats only);
+// n < 0 returns everything from offset on. A negative offset is
+// clamped to 0, one past the population to an empty page. The period
+// clock, stats and rows come from one consistent tracker view — a
+// concurrent period close cannot make them disagree.
+func (d *Daemon) Sources(n, offset int) SourcesPayload {
 	tr := d.opts.Tracker
 	if tr == nil {
 		return SourcesPayload{}
 	}
 	cfg := tr.Config()
-	return SourcesPayload{
+	v := tr.View(0)
+	if offset < 0 {
+		offset = 0
+	}
+	p := SourcesPayload{
 		Enabled:    true,
 		KeyBits:    cfg.KeyBits,
 		MaxSources: cfg.MaxSources,
-		Periods:    tr.Periods(),
-		Stats:      tr.Stats(),
-		Sources:    tr.Sources(n),
+		Periods:    v.Periods,
+		Total:      len(v.Sources),
+		Offset:     offset,
+		Stats:      v.Stats,
 	}
+	if offset > len(v.Sources) {
+		offset = len(v.Sources)
+	}
+	page := v.Sources[offset:]
+	if n == 0 {
+		page = page[:0]
+	} else if n > 0 && len(page) > n {
+		page = page[:n]
+	}
+	p.Sources = page
+	return p
 }
 
 // Reports returns a copy of the detector's period reports.
@@ -126,7 +160,9 @@ func (d *Daemon) Reports() []core.Report {
 //	GET /healthz  -> 200 "ok", or 503 with the replay error
 //	GET /status   -> JSON Status
 //	GET /reports  -> JSON array of per-period reports
-//	GET /sources  -> JSON SourcesPayload (ranked keys; ?n= limits, default 20)
+//	GET /sources  -> JSON SourcesPayload (ranked keys; ?n= page size,
+//	                 default 20, 0 = headers only; ?offset= page start;
+//	                 negatives clamp to 0)
 //	GET /metrics  -> Prometheus-style text exposition
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -146,17 +182,30 @@ func (d *Daemon) Handler() http.Handler {
 		_ = json.NewEncoder(w).Encode(d.Reports())
 	})
 	mux.HandleFunc("GET /sources", func(w http.ResponseWriter, r *http.Request) {
-		n := 20
+		// ?n= is the page size (default 20; 0 means "no rows, headers
+		// and stats only" — never "everything": an operator limiting
+		// output should not be handed the full key population). ?offset=
+		// pages through the ranking. Non-integers are a 400; negatives
+		// clamp to 0.
+		n, offset := 20, 0
 		if q := r.URL.Query().Get("n"); q != "" {
 			v, err := strconv.Atoi(q)
 			if err != nil {
 				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
 				return
 			}
-			n = v
+			n = max(v, 0)
+		}
+		if q := r.URL.Query().Get("offset"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad offset: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			offset = max(v, 0)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(d.Sources(n))
+		_ = json.NewEncoder(w).Encode(d.Sources(n, offset))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -165,50 +214,103 @@ func (d *Daemon) Handler() http.Handler {
 	return mux
 }
 
-// writeMetrics renders the exposition. Metric names are a public
-// contract (dashboards scrape them); the golden test pins the format.
-func writeMetrics(w http.ResponseWriter, s Status) {
-	b2i := func(b bool) int {
-		if b {
-			return 1
-		}
-		return 0
-	}
-	progress := 0.0
-	if s.TotalPeriods > 0 {
-		progress = float64(s.Periods) / float64(s.TotalPeriods)
-	}
+// metricDef is one exposition line pair: its TYPE header and how to
+// render a Status into its sample value. present gates metrics that
+// are only meaningful sometimes (checkpoint age before the first
+// checkpoint would be a lie, not a zero).
+type metricDef struct {
+	name, typ string
+	value     func(Status) string
+	present   func(Status) bool // nil = always
+}
 
-	fmt.Fprintf(w, "# TYPE syndog_periods_total counter\nsyndog_periods_total %d\n", s.Periods)
-	fmt.Fprintf(w, "# TYPE syndog_kbar gauge\nsyndog_kbar %g\n", s.KBar)
-	fmt.Fprintf(w, "# TYPE syndog_statistic gauge\nsyndog_statistic %g\n", s.Statistic)
-	fmt.Fprintf(w, "# TYPE syndog_alarmed gauge\nsyndog_alarmed %d\n", b2i(s.Alarmed))
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// metricDefs is the exposition, in order. Metric names and the
+// rendered format are a public contract (dashboards scrape them); the
+// golden test pins the single-agent form byte for byte, and the
+// labeled multi-agent form renders the same table with one sample per
+// agent.
+var metricDefs = []metricDef{
+	{"syndog_periods_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.Periods) }, nil},
+	{"syndog_kbar", "gauge", func(s Status) string { return fmt.Sprintf("%g", s.KBar) }, nil},
+	{"syndog_statistic", "gauge", func(s Status) string { return fmt.Sprintf("%g", s.Statistic) }, nil},
+	{"syndog_alarmed", "gauge", func(s Status) string { return fmt.Sprintf("%d", b2i(s.Alarmed)) }, nil},
 
 	// Replay progress and volume.
-	fmt.Fprintf(w, "# TYPE syndog_replay_progress gauge\nsyndog_replay_progress %g\n", progress)
-	fmt.Fprintf(w, "# TYPE syndog_replay_done gauge\nsyndog_replay_done %d\n", b2i(s.ReplayDone))
-	fmt.Fprintf(w, "# TYPE syndog_replay_failed gauge\nsyndog_replay_failed %d\n", b2i(s.ReplayError != ""))
-	fmt.Fprintf(w, "# TYPE syndog_records_processed_total counter\nsyndog_records_processed_total %d\n", s.RecordsProcessed)
-	fmt.Fprintf(w, "# TYPE syndog_records_skipped_total counter\nsyndog_records_skipped_total %d\n", s.RecordsSkipped)
-	fmt.Fprintf(w, "# TYPE syndog_resume_offset_periods gauge\nsyndog_resume_offset_periods %d\n", s.ResumeOffset)
+	{"syndog_replay_progress", "gauge", func(s Status) string {
+		progress := 0.0
+		if s.TotalPeriods > 0 {
+			progress = float64(s.Periods) / float64(s.TotalPeriods)
+		}
+		return fmt.Sprintf("%g", progress)
+	}, nil},
+	{"syndog_replay_done", "gauge", func(s Status) string { return fmt.Sprintf("%d", b2i(s.ReplayDone)) }, nil},
+	{"syndog_replay_failed", "gauge", func(s Status) string { return fmt.Sprintf("%d", b2i(s.ReplayError != "")) }, nil},
+	{"syndog_records_processed_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.RecordsProcessed) }, nil},
+	{"syndog_records_skipped_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.RecordsSkipped) }, nil},
+	{"syndog_resume_offset_periods", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.ResumeOffset) }, nil},
 
 	// Last completed period's raw counts: the pair whose difference
 	// drives the detector.
-	fmt.Fprintf(w, "# TYPE syndog_last_period_out_syn gauge\nsyndog_last_period_out_syn %d\n", s.LastOutSYN)
-	fmt.Fprintf(w, "# TYPE syndog_last_period_in_synack gauge\nsyndog_last_period_in_synack %d\n", s.LastInSYNACK)
+	{"syndog_last_period_out_syn", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.LastOutSYN) }, nil},
+	{"syndog_last_period_in_synack", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.LastInSYNACK) }, nil},
 
 	// Keyed source attribution. Emitted unconditionally (zeros when
 	// tracking is off) so enabling -track-sources never changes the
 	// exposition's line set.
-	fmt.Fprintf(w, "# TYPE syndog_sources_tracking gauge\nsyndog_sources_tracking %d\n", b2i(s.Tracking))
-	fmt.Fprintf(w, "# TYPE syndog_sources_tracked gauge\nsyndog_sources_tracked %d\n", s.SourcesTracked)
-	fmt.Fprintf(w, "# TYPE syndog_sources_alarmed gauge\nsyndog_sources_alarmed %d\n", s.SourcesAlarmed)
-	fmt.Fprintf(w, "# TYPE syndog_sources_evicted_total counter\nsyndog_sources_evicted_total %d\n", s.SourcesEvicted)
+	{"syndog_sources_tracking", "gauge", func(s Status) string { return fmt.Sprintf("%d", b2i(s.Tracking)) }, nil},
+	{"syndog_sources_tracked", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.SourcesTracked) }, nil},
+	{"syndog_sources_alarmed", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.SourcesAlarmed) }, nil},
+	{"syndog_sources_evicted_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.SourcesEvicted) }, nil},
 
 	// Durability: how stale the on-disk snapshot is. Age is only
 	// meaningful once a checkpoint has been written.
-	fmt.Fprintf(w, "# TYPE syndog_checkpoints_total counter\nsyndog_checkpoints_total %d\n", s.Checkpoints)
-	if s.Checkpoints > 0 {
-		fmt.Fprintf(w, "# TYPE syndog_checkpoint_age_seconds gauge\nsyndog_checkpoint_age_seconds %g\n", s.CheckpointAge.Seconds())
+	{"syndog_checkpoints_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.Checkpoints) }, nil},
+	{"syndog_checkpoint_failures_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.CheckpointFailures) }, nil},
+	{"syndog_checkpoint_age_seconds", "gauge", func(s Status) string { return fmt.Sprintf("%g", s.CheckpointAge.Seconds()) },
+		func(s Status) bool { return s.Checkpoints > 0 }},
+}
+
+// writeMetrics renders the single-agent exposition.
+func writeMetrics(w http.ResponseWriter, s Status) {
+	for _, m := range metricDefs {
+		if m.present != nil && !m.present(s) {
+			continue
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", m.name, m.typ, m.name, m.value(s))
+	}
+}
+
+// agentStatus pairs an agent's name with its status for the labeled
+// multi-agent exposition.
+type agentStatus struct {
+	Name   string
+	Status Status
+}
+
+// writeMetricsLabeled renders the multi-agent exposition: the same
+// metric table, one TYPE header per metric and one {agent="..."}
+// labeled sample per agent. A metric absent for every agent (e.g.
+// checkpoint age before any checkpoint) omits its header too, matching
+// the single-agent behavior.
+func writeMetricsLabeled(w http.ResponseWriter, agents []agentStatus) {
+	for _, m := range metricDefs {
+		wrote := false
+		for _, a := range agents {
+			if m.present != nil && !m.present(a.Status) {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+				wrote = true
+			}
+			fmt.Fprintf(w, "%s{agent=%q} %s\n", m.name, a.Name, m.value(a.Status))
+		}
 	}
 }

@@ -257,9 +257,12 @@ func TestSourcesEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	p := d.Sources(0)
+	p := d.Sources(-1, 0)
 	if !p.Enabled || p.KeyBits != 8 || p.MaxSources != 64 {
 		t.Fatalf("payload header: %+v", p)
+	}
+	if p.Total != len(p.Sources) || p.Offset != 0 {
+		t.Fatalf("unpaged payload total=%d offset=%d over %d rows", p.Total, p.Offset, len(p.Sources))
 	}
 	if p.Stats.Alarmed == 0 || len(p.Sources) == 0 {
 		t.Fatalf("flooded replay attributed nothing: %+v", p.Stats)
@@ -320,5 +323,78 @@ func TestNewStreamRejectsMisalignedTracker(t *testing.T) {
 	}
 	if _, err := New(agent, testTrace(t, false), Options{Tracker: tracker}); err == nil {
 		t.Error("misaligned tracker accepted")
+	}
+}
+
+// TestSourcesPagination pins the /sources paging contract: ?n= is the
+// page size with n=0 meaning "no rows" (never "all"), ?offset= walks
+// the ranking, negatives clamp, and concatenating pages reproduces the
+// full ranked list with a stable total.
+func TestSourcesPagination(t *testing.T) {
+	agent, tracker, _, err := LoadOrNewState("", core.Config{}, keyedTrackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(agent, testTrace(t, true), Options{Tracker: tracker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Replay(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	all := d.Sources(-1, 0)
+	if all.Total < 3 {
+		t.Fatalf("fixture too small to page: %d keys", all.Total)
+	}
+
+	// Pages concatenate back to the full ranking, each carrying the
+	// same total.
+	var paged []string
+	for off := 0; off < all.Total; off += 2 {
+		p := d.Sources(2, off)
+		if p.Total != all.Total || p.Offset != off {
+			t.Fatalf("page at %d: total=%d offset=%d, want %d/%d", off, p.Total, p.Offset, all.Total, off)
+		}
+		for _, row := range p.Sources {
+			paged = append(paged, row.Key.String())
+		}
+	}
+	if len(paged) != all.Total {
+		t.Fatalf("pages yielded %d rows, want %d", len(paged), all.Total)
+	}
+	for i, row := range all.Sources {
+		if paged[i] != row.Key.String() {
+			t.Fatalf("row %d: paged %s, full list %s", i, paged[i], row.Key)
+		}
+	}
+
+	// n=0: headers and stats only — explicitly not "all keys".
+	p := d.Sources(0, 0)
+	if len(p.Sources) != 0 || p.Total != all.Total {
+		t.Errorf("n=0 returned %d rows (total %d)", len(p.Sources), p.Total)
+	}
+	// Offset past the population: empty page, not an error.
+	if p := d.Sources(5, all.Total+10); len(p.Sources) != 0 || p.Total != all.Total {
+		t.Errorf("overshot offset returned %d rows", len(p.Sources))
+	}
+	// Negative inputs clamp.
+	if p := d.Sources(3, -7); p.Offset != 0 || len(p.Sources) != 3 {
+		t.Errorf("negative offset: offset=%d rows=%d", p.Offset, len(p.Sources))
+	}
+
+	// The HTTP surface: n=0 serializes an empty array (not null), bad
+	// offsets are 400, negatives clamp to 0.
+	if status, body := get(t, d, "/sources?n=0"); status != 200 || !strings.Contains(body, `"sources":[]`) {
+		t.Errorf("?n=0: status %d body %s", status, body)
+	}
+	if status, _ := get(t, d, "/sources?offset=bogus"); status != 400 {
+		t.Errorf("bad offset: status %d, want 400", status)
+	}
+	if status, body := get(t, d, "/sources?n=-3&offset=-3"); status != 200 || !strings.Contains(body, `"sources":[]`) || !strings.Contains(body, `"offset":0`) {
+		t.Errorf("negative query params: status %d body %s", status, body)
+	}
+	if status, body := get(t, d, "/sources?n=2&offset=1"); status != 200 || strings.Count(body, `"key"`) != 2 {
+		t.Errorf("?n=2&offset=1: status %d body %s", status, body)
 	}
 }

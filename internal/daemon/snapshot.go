@@ -215,33 +215,53 @@ func WriteStateFile(st State, path string) error {
 // the CUSUM agent carries snapshot state; daemons running a baseline
 // detector cannot persist.
 func (d *Daemon) SaveState(path string) error {
+	st, err := d.State()
+	if err != nil {
+		return err
+	}
+	return WriteStateFile(st, path)
+}
+
+// State captures the daemon's current persistable state under the
+// daemon lock — the same snapshot SaveState writes, returned in
+// memory. The supervisor's reload path migrates it instead of (or
+// before) persisting. Only the CUSUM agent carries snapshot state;
+// daemons running a baseline detector cannot produce one.
+func (d *Daemon) State() (State, error) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.agent == nil {
-		d.mu.Unlock()
-		return fmt.Errorf("daemon: detector %q has no snapshot state", d.det.Name())
+		return State{}, fmt.Errorf("daemon: detector %q has no snapshot state", d.det.Name())
 	}
 	st := State{Snapshot: d.agent.Snapshot()}
 	if tr := d.opts.Tracker; tr != nil {
 		ks := tr.Snapshot()
 		st.Sources = &ks
 	}
-	d.mu.Unlock()
-	return WriteStateFile(st, path)
+	return st, nil
 }
 
 // Checkpoint persists the agent to Options.StatePath and records the
-// checkpoint time for the /metrics checkpoint-age gauge. It is a
-// no-op when no state path is configured.
+// outcome: the checkpoint time feeds the /metrics checkpoint-age
+// gauge, and failures feed syndog_checkpoint_failures_total plus
+// /status's lastCheckpointError — a dying disk is visible long before
+// the final shutdown snapshot is lost. A later success clears the
+// error but not the failure count. It is a no-op when no state path
+// is configured.
 func (d *Daemon) Checkpoint() error {
 	if d.opts.StatePath == "" {
 		return nil
 	}
-	if err := d.SaveState(d.opts.StatePath); err != nil {
-		return err
-	}
+	err := d.SaveState(d.opts.StatePath)
 	d.mu.Lock()
-	d.checkpoints++
-	d.lastCheckpoint = time.Now()
+	if err != nil {
+		d.checkpointFailures++
+		d.lastCheckpointErr = err
+	} else {
+		d.checkpoints++
+		d.lastCheckpoint = time.Now()
+		d.lastCheckpointErr = nil
+	}
 	d.mu.Unlock()
-	return nil
+	return err
 }

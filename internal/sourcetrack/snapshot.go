@@ -178,6 +178,68 @@ func Restore(s Snapshot, cfg Config) (*Tracker, error) {
 	return t, nil
 }
 
+// MigrateSnapshot rewrites a keyed snapshot so it restores cleanly
+// under cfg, carrying all portable per-key evidence. It handles the
+// snapshot-compatible half of the daemon's migrate-or-reset matrix:
+//
+//   - Alpha / Offset / Threshold: rewritten in place. Accumulated K̄
+//     and CUSUM statistics are carried unchanged — new parameters apply
+//     from the next observation on. Latched alarms stay latched even if
+//     the new threshold would not have fired them; an alarm is a
+//     historical event, not a re-evaluated predicate.
+//   - MaxSources: resized. Shrinking keeps the top keys by Space-Saving
+//     count (ties broken by key so the cut is deterministic) and counts
+//     the dropped states as evictions — truncation is never silent.
+//
+// It returns ok=false when cfg changes the keying or period semantics
+// (KeyBits, T0, MinK, WarmupPeriods): per-key evidence measured under
+// those cannot be reinterpreted, so the caller must reset instead.
+func MigrateSnapshot(s Snapshot, cfg Config) (Snapshot, bool) {
+	cfg = cfg.Normalized()
+	old := s.Agent.Normalized()
+	if s.KeyBits != cfg.KeyBits ||
+		old.T0 != cfg.Agent.T0 ||
+		old.MinK != cfg.Agent.MinK ||
+		old.WarmupPeriods != cfg.Agent.WarmupPeriods {
+		return Snapshot{}, false
+	}
+	s.Agent = cfg.Agent
+	s.Keys = slices.Clone(s.Keys)
+	if cfg.MaxSources < len(s.Keys) {
+		drop := slices.Clone(s.Keys)
+		slices.SortFunc(drop, func(a, b KeySnapshot) int {
+			if a.Count != b.Count {
+				if a.Count > b.Count {
+					return -1
+				}
+				return 1
+			}
+			if c := a.Key.Addr().Compare(b.Key.Addr()); c != 0 {
+				return c
+			}
+			return a.Key.Bits() - b.Key.Bits()
+		})
+		keep := make(map[netip.Prefix]bool, cfg.MaxSources)
+		for _, ks := range drop[:cfg.MaxSources] {
+			keep[ks.Key] = true
+		}
+		s.Stats.Evicted += uint64(len(s.Keys) - cfg.MaxSources)
+		s.Keys = slices.DeleteFunc(s.Keys, func(ks KeySnapshot) bool {
+			return !keep[ks.Key]
+		})
+	}
+	s.MaxSources = cfg.MaxSources
+	s.Stats.Tracked = len(s.Keys)
+	alarmed := 0
+	for _, ks := range s.Keys {
+		if ks.Alarm != nil {
+			alarmed++
+		}
+	}
+	s.Stats.Alarmed = alarmed
+	return s, true
+}
+
 // Encode serializes the snapshot as indented JSON.
 func (s Snapshot) Encode() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")

@@ -268,3 +268,148 @@ func FuzzKeyedSnapshotRoundTrip(f *testing.F) {
 		_, _ = Restore(s, Config{KeyBits: s.KeyBits, MaxSources: s.MaxSources, Agent: s.Agent})
 	})
 }
+
+// TestMigrateSnapshotParams pins the snapshot-compatible half of the
+// migrate matrix: detector parameters (alpha, a, N) rewrite in place
+// with every per-key statistic carried, and the result restores
+// cleanly under the new config.
+func TestMigrateSnapshotParams(t *testing.T) {
+	tk := busyTracker(t)
+	snap := tk.Snapshot()
+
+	next := tk.Config()
+	next.Agent.Alpha = 0.8
+	next.Agent.Offset = 0.5
+	next.Agent.Threshold = 2.5
+
+	mig, ok := MigrateSnapshot(snap, next)
+	if !ok {
+		t.Fatal("param-only change refused migration")
+	}
+	if mig.Agent != next.Normalized().Agent {
+		t.Fatalf("migrated agent config %+v, want %+v", mig.Agent, next.Normalized().Agent)
+	}
+	if len(mig.Keys) != len(snap.Keys) {
+		t.Fatalf("migration changed key count: %d -> %d", len(snap.Keys), len(mig.Keys))
+	}
+	for i, ks := range mig.Keys {
+		want := snap.Keys[i]
+		want.Key = ks.Key // same order pinned below
+		if ks.Key != snap.Keys[i].Key {
+			t.Fatalf("key order changed at %d: %v vs %v", i, ks.Key, snap.Keys[i].Key)
+		}
+		if ks.Y != snap.Keys[i].Y || ks.KBar != snap.Keys[i].KBar ||
+			ks.Count != snap.Keys[i].Count || ks.Periods != snap.Keys[i].Periods ||
+			ks.AlarmLatched != snap.Keys[i].AlarmLatched {
+			t.Fatalf("key %v evidence not carried: %+v vs %+v", ks.Key, ks, snap.Keys[i])
+		}
+	}
+	if mig.Stats.Evicted != snap.Stats.Evicted {
+		t.Fatalf("param migration counted evictions: %d -> %d", snap.Stats.Evicted, mig.Stats.Evicted)
+	}
+
+	restored, err := Restore(mig, next)
+	if err != nil {
+		t.Fatalf("restore migrated snapshot: %v", err)
+	}
+	// The migrated tracker keeps detecting: another period closes and
+	// the clock advances over the carried population.
+	restored.ClosePeriod(restored.Periods(), time.Duration(restored.Periods()+1)*time.Second)
+	if restored.Periods() != snap.Periods+1 {
+		t.Fatalf("migrated tracker period clock %d, want %d", restored.Periods(), snap.Periods+1)
+	}
+	// The original snapshot still hard-errors under the new config —
+	// migration is the only path around ErrConfigMismatch.
+	if _, err := Restore(snap, next); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("unmigrated restore under new config: %v", err)
+	}
+}
+
+// TestMigrateSnapshotResize pins MaxSources migration: shrinking keeps
+// the top keys by Space-Saving count and books the rest as evictions;
+// growing keeps everything.
+func TestMigrateSnapshotResize(t *testing.T) {
+	tk := busyTracker(t)
+	snap := tk.Snapshot()
+	if len(snap.Keys) != 4 {
+		t.Fatalf("fixture drifted: %d keys", len(snap.Keys))
+	}
+
+	shrink := tk.Config()
+	shrink.MaxSources = 2
+	mig, ok := MigrateSnapshot(snap, shrink)
+	if !ok {
+		t.Fatal("capacity change refused migration")
+	}
+	if len(mig.Keys) != 2 || mig.MaxSources != 2 {
+		t.Fatalf("shrink kept %d keys under max %d", len(mig.Keys), mig.MaxSources)
+	}
+	if mig.Stats.Evicted != snap.Stats.Evicted+2 {
+		t.Fatalf("shrink evictions %d, want %d", mig.Stats.Evicted, snap.Stats.Evicted+2)
+	}
+	if mig.Stats.Tracked != 2 {
+		t.Fatalf("shrink tracked %d, want 2", mig.Stats.Tracked)
+	}
+	// The survivors are the top keys by count.
+	minKept := mig.Keys[0].Count
+	for _, ks := range mig.Keys[1:] {
+		if ks.Count < minKept {
+			minKept = ks.Count
+		}
+	}
+	kept := make(map[netip.Prefix]bool, len(mig.Keys))
+	for _, ks := range mig.Keys {
+		kept[ks.Key] = true
+	}
+	for _, ks := range snap.Keys {
+		if !kept[ks.Key] && ks.Count > minKept {
+			t.Fatalf("dropped key %v (count %d) outranks a kept key (count %d)", ks.Key, ks.Count, minKept)
+		}
+	}
+	if _, err := Restore(mig, shrink); err != nil {
+		t.Fatalf("restore shrunk snapshot: %v", err)
+	}
+
+	grow := tk.Config()
+	grow.MaxSources = 64
+	mig, ok = MigrateSnapshot(snap, grow)
+	if !ok {
+		t.Fatal("capacity growth refused migration")
+	}
+	if len(mig.Keys) != len(snap.Keys) || mig.Stats.Evicted != snap.Stats.Evicted {
+		t.Fatalf("growth dropped keys: %d keys, evicted %d", len(mig.Keys), mig.Stats.Evicted)
+	}
+	if _, err := Restore(mig, grow); err != nil {
+		t.Fatalf("restore grown snapshot: %v", err)
+	}
+}
+
+// TestMigrateSnapshotRefusesSemanticChanges pins the incompatible half
+// of the matrix: keying and period-semantics changes cannot migrate.
+func TestMigrateSnapshotRefusesSemanticChanges(t *testing.T) {
+	tk := busyTracker(t)
+	snap := tk.Snapshot()
+	base := tk.Config()
+
+	mutations := map[string]func(*Config){
+		"keyBits": func(c *Config) { c.KeyBits = 16 },
+		"t0":      func(c *Config) { c.Agent.T0 = 2 * time.Second },
+		"minK":    func(c *Config) { c.Agent.MinK = 20 },
+		"warmup":  func(c *Config) { c.Agent.WarmupPeriods = 3 },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, ok := MigrateSnapshot(snap, cfg); ok {
+			t.Errorf("%s change migrated; per-key evidence is not portable across it", name)
+		}
+	}
+	// The identity migration is a no-op round trip.
+	mig, ok := MigrateSnapshot(snap, base)
+	if !ok {
+		t.Fatal("identity migration refused")
+	}
+	if !reflect.DeepEqual(mig, snap) {
+		t.Fatal("identity migration changed the snapshot")
+	}
+}

@@ -371,6 +371,15 @@ type Tracker struct {
 	periods atomic.Int64
 	unkeyed atomic.Uint64
 
+	// sweepMu serializes whole-tracker sweeps: ClosePeriod holds it
+	// exclusively for its full multi-shard pass, and View holds it
+	// shared — so a view can never observe shard 0 folded into period
+	// n+1 while shard 1 still sits in period n. Observe deliberately
+	// does not touch it: per-record routing stays lock-striped and the
+	// single-caller ClosePeriod discipline already excludes in-flight
+	// records at boundaries.
+	sweepMu sync.RWMutex
+
 	// OnReport, if set, receives every per-key period report as it
 	// closes. Called under the shard lock; keep it cheap. Tests use it
 	// to compare against a per-key core.Agent.
@@ -486,10 +495,12 @@ func (t *Tracker) Record(r trace.Record) { t.Observe(r) }
 // keeps its own clock, which the daemon aligns at startup).
 func (t *Tracker) ClosePeriod(index int, end time.Duration) {
 	_ = index
+	t.sweepMu.Lock()
 	for _, s := range t.shards {
 		s.closePeriod(end, &t.cfg.Agent, t.OnReport)
 	}
 	t.periods.Add(1)
+	t.sweepMu.Unlock()
 }
 
 // Periods returns how many observation periods have closed, including
@@ -545,6 +556,49 @@ func (t *Tracker) Sources(n int) []SourceReport {
 		out = out[:n]
 	}
 	return out
+}
+
+// TrackerView is one consistent observation of the tracker: the period
+// clock, stats and ranked source list all describe the same instant —
+// no period close can land between them. It is what /sources serves.
+type TrackerView struct {
+	Periods int
+	Stats   TrackerStats
+	Sources []SourceReport
+}
+
+// View captures a consistent view of the tracker in a single sweep.
+// Unlike calling Periods, Stats and Sources back to back, the three
+// parts cannot straddle a ClosePeriod: the whole collection runs under
+// the shared sweep lock, touching each shard's lock exactly once. Every
+// tracked key is collected; limit > 0 truncates the ranked list (the
+// stats still describe the full population).
+func (t *Tracker) View(limit int) TrackerView {
+	t.sweepMu.RLock()
+	v := TrackerView{
+		Periods: int(t.periods.Load()),
+		Stats:   TrackerStats{Unkeyed: t.unkeyed.Load()},
+		Sources: make([]SourceReport, 0, 64),
+	}
+	for _, s := range t.shards {
+		s.mu.Lock()
+		v.Stats.SYNs += s.syns
+		v.Stats.SYNACKs += s.synAcks
+		v.Stats.UntrackedSYNACKs += s.untracked
+		v.Stats.Evicted += s.evicted
+		v.Stats.Tracked += len(s.heap)
+		v.Stats.Alarmed += s.alarmed
+		for _, st := range s.heap {
+			v.Sources = append(v.Sources, st.report())
+		}
+		s.mu.Unlock()
+	}
+	t.sweepMu.RUnlock()
+	slices.SortFunc(v.Sources, compareSourceReports)
+	if limit > 0 && len(v.Sources) > limit {
+		v.Sources = v.Sources[:limit]
+	}
+	return v
 }
 
 func compareSourceReports(a, b SourceReport) int {

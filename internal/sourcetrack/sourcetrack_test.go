@@ -461,3 +461,81 @@ func TestSpaceSavingAdversarialChurn(t *testing.T) {
 		t.Errorf("SYN/ACKs admitted keys: tracked = %d", st.Tracked)
 	}
 }
+
+// TestViewConsistentAcrossPeriodClose is the regression test for the
+// /sources consistency bug: reading Periods(), Stats() and Sources()
+// as three separate calls can straddle a ClosePeriod sweep, returning
+// a period clock that disagrees with the per-key reports. View must
+// never do that — every row it returns carries the view's own period
+// count. On the pre-fix code (no sweep lock) dozens of the views below
+// catch a half-swept tracker.
+func TestViewConsistentAcrossPeriodClose(t *testing.T) {
+	tk, err := New(Config{
+		KeyBits:    32,
+		MaxSources: 256,
+		Shards:     16,
+		Agent:      core.Config{T0: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admit keys spread across all shards at period 0, so every key's
+	// period clock advances with every ClosePeriod and each sweep is
+	// wide enough for a view to land inside it.
+	const keys = 256
+	for k := 0; k < keys; k++ {
+		tk.Observe(trace.Record{
+			Kind: packet.KindSYN, Dir: trace.DirOut,
+			Src: netip.AddrFrom4([4]byte{10, 0, byte(k), 1}),
+			Dst: netip.MustParseAddr("11.9.9.9"),
+		})
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := 0; ; p++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tk.ClosePeriod(p, time.Duration(p+1)*time.Second)
+		}
+	}()
+
+	const views = 3000
+	for i := 0; i < views; i++ {
+		v := tk.View(0)
+		if len(v.Sources) != keys || v.Stats.Tracked != keys {
+			t.Fatalf("view lost keys: %d sources, stats %+v", len(v.Sources), v.Stats)
+		}
+		for _, row := range v.Sources {
+			if row.Periods != v.Periods {
+				t.Fatalf("inconsistent view %d: key %v at period %d inside a view claiming period %d",
+					i, row.Key, row.Periods, v.Periods)
+			}
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestViewMatchesSeparateCalls pins that a quiescent View agrees with
+// the three individual accessors, including the ranking and limit.
+func TestViewMatchesSeparateCalls(t *testing.T) {
+	tk := busyTracker(t)
+	for _, limit := range []int{0, 2, 100} {
+		v := tk.View(limit)
+		if v.Periods != tk.Periods() {
+			t.Errorf("limit=%d: View periods %d != %d", limit, v.Periods, tk.Periods())
+		}
+		if v.Stats != tk.Stats() {
+			t.Errorf("limit=%d: View stats %+v != %+v", limit, v.Stats, tk.Stats())
+		}
+		if !reflect.DeepEqual(v.Sources, tk.Sources(limit)) {
+			t.Errorf("limit=%d: View sources differ from Sources(%d)", limit, limit)
+		}
+	}
+}
