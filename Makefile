@@ -1,14 +1,15 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test race check bench examples experiments fast-experiments evasion fuzz soak soak-short clean
+.PHONY: all build vet test race check bench bench-gate examples experiments fast-experiments evasion fuzz soak soak-short clean
 
 all: build vet test
 
 # The full pre-merge gate: static checks, the test suite, the race
-# detector, the seeded adversarial evasion matrix, and a short-budget
-# soak of the multi-agent daemon in one target.
-check: vet test race evasion soak-short
+# detector, the seeded adversarial evasion matrix, a short-budget soak
+# of the multi-agent daemon, and the hot-path bench-regression gate in
+# one target.
+check: vet test race evasion soak-short bench-gate
 
 build:
 	$(GO) build ./...
@@ -31,12 +32,24 @@ record:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Root benchmark suite, 6 samples per benchmark, distilled into the
-# committed BENCH_pr5.json baseline (median ns/op, B/op, allocs/op per
+# committed BENCH_pr8.json baseline (median ns/op, B/op, allocs/op per
 # benchmark) so perf changes diff against a recorded trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr5.raw
-	$(GO) run ./cmd/benchjson -o BENCH_pr5.json < BENCH_pr5.raw
-	rm -f BENCH_pr5.raw
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr8.raw
+	$(GO) run ./cmd/benchjson -o BENCH_pr8.json < BENCH_pr8.raw
+	rm -f BENCH_pr8.raw
+
+# Enforced regression gate over the hot-path benchmarks: rerun them
+# (medians of GATECOUNT samples) and diff against the committed
+# baseline via benchjson -baseline. Fails on a >GATETOL ns/op slowdown
+# or any allocs/op growth on the gated set; other benchmarks are
+# reported informationally. Raise GATETOL on noisy shared hardware.
+GATECOUNT ?= 3
+GATETOL ?= 0.10
+GATEHOT ?= Ingest|BatchIngest|SweepFastPath|RunCellFastPath
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(GATEHOT)' -benchmem -count=$(GATECOUNT) . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_pr8.json -tolerance $(GATETOL) -hot '$(GATEHOT)'
 
 # Benchmarks across every package, one sample each (no JSON).
 bench-all:
@@ -92,6 +105,7 @@ fuzz:
 	$(GO) test ./internal/iptrace -fuzz '^FuzzCaptureReaderStreaming$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sourcetrack -fuzz '^FuzzKeyedSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/flood -fuzz '^FuzzPulsingCountsMatchRecords$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -fuzz '^FuzzBatchMatchesRecordPath$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

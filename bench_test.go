@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"sync"
@@ -400,16 +401,19 @@ func BenchmarkProcessTrace(b *testing.B) {
 // --- streaming ingestion -----------------------------------------------
 
 // streamBench holds the shared fixture for the streaming-ingestion
-// benchmark: a 10-minute Auckland trace exported once as a libpcap
-// capture. TestMain removes the file after the run.
+// benchmarks: a 10-minute Auckland trace exported once per container
+// format (libpcap, binary, CSV, tcpdump text). TestMain removes the
+// files after the run.
 var streamBench struct {
 	sync.Once
-	path    string
+	paths   map[string]string // extension -> temp file path
 	records int
 	err     error
 }
 
-func streamBenchPcap(b *testing.B) (string, int) {
+// streamBenchFile returns the fixture capture with the given extension
+// (".pcap", ".trace", ".csv", ".txt") and its classified record count.
+func streamBenchFile(b *testing.B, ext string) (string, int) {
 	b.Helper()
 	streamBench.Do(func() {
 		p := trace.Auckland()
@@ -419,24 +423,33 @@ func streamBenchPcap(b *testing.B) (string, int) {
 			streamBench.err = err
 			return
 		}
-		f, err := os.CreateTemp("", "stream-bench-*.pcap")
-		if err != nil {
-			streamBench.err = err
-			return
+		writers := map[string]func(io.Writer, *trace.Trace) error{
+			".pcap":  trace.WritePcap,
+			".trace": trace.WriteBinary,
+			".csv":   trace.WriteCSV,
+			".txt":   trace.WriteTcpdump,
 		}
-		streamBench.path = f.Name()
-		if err := trace.WritePcap(f, tr); err != nil {
-			f.Close()
-			streamBench.err = err
-			return
-		}
-		if err := f.Close(); err != nil {
-			streamBench.err = err
-			return
+		streamBench.paths = make(map[string]string, len(writers))
+		for ext, write := range writers {
+			f, err := os.CreateTemp("", "stream-bench-*"+ext)
+			if err != nil {
+				streamBench.err = err
+				return
+			}
+			streamBench.paths[ext] = f.Name()
+			if err := write(f, tr); err != nil {
+				f.Close()
+				streamBench.err = err
+				return
+			}
+			if err := f.Close(); err != nil {
+				streamBench.err = err
+				return
+			}
 		}
 		// Prescan for the classified record count — the same O(1) pass
 		// syndogd runs before streaming a capture.
-		pf, err := os.Open(streamBench.path)
+		pf, err := os.Open(streamBench.paths[".pcap"])
 		if err != nil {
 			streamBench.err = err
 			return
@@ -452,23 +465,34 @@ func streamBenchPcap(b *testing.B) (string, int) {
 	if streamBench.err != nil {
 		b.Fatal(streamBench.err)
 	}
-	return streamBench.path, streamBench.records
+	path, ok := streamBench.paths[ext]
+	if !ok {
+		b.Fatalf("no %s fixture", ext)
+	}
+	return path, streamBench.records
+}
+
+func streamBenchPcap(b *testing.B) (string, int) {
+	return streamBenchFile(b, ".pcap")
 }
 
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if streamBench.path != "" {
-		os.Remove(streamBench.path)
+	for _, path := range streamBench.paths {
+		os.Remove(path)
 	}
 	os.Exit(code)
 }
 
-// BenchmarkStreamingIngestPcap measures the full streaming pipeline on
-// a pcap capture — open, classify, aggregate, detect — exactly as the
-// binaries construct it. The capture never materializes in memory; the
+// benchStreamingIngest measures the full streaming pipeline over one
+// fixture format — open, classify, aggregate, detect — exactly as the
+// binaries construct it. chunk picks the pipeline's batch size
+// (0 = DefaultChunk, negative = the single-record compatibility loop);
+// arena, when non-nil, recycles chunk buffers across iterations. The
 // records/s metric is the sustained ingest rate of one detector.
-func BenchmarkStreamingIngestPcap(b *testing.B) {
-	path, records := streamBenchPcap(b)
+func benchStreamingIngest(b *testing.B, ext string, chunk int, arena *ingest.Arena) {
+	b.Helper()
+	path, records := streamBenchFile(b, ext)
 	prefix := netip.MustParsePrefix("130.216.0.0/16")
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -485,6 +509,8 @@ func BenchmarkStreamingIngestPcap(b *testing.B) {
 			Source:   src,
 			Detector: ingest.WrapAgent(agent),
 			T0:       core.DefaultObservationPeriod,
+			Chunk:    chunk,
+			Arena:    arena,
 		}
 		if err := p.Run(); err != nil {
 			b.Fatal(err)
@@ -497,6 +523,45 @@ func BenchmarkStreamingIngestPcap(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkStreamingIngestPcap is the headline ingest benchmark: the
+// batch pipeline over a pcap capture, which never materializes.
+func BenchmarkStreamingIngestPcap(b *testing.B) {
+	benchStreamingIngest(b, ".pcap", 0, nil)
+}
+
+// BenchmarkStreamingIngestBinary streams the compact binary container.
+func BenchmarkStreamingIngestBinary(b *testing.B) {
+	benchStreamingIngest(b, ".trace", 0, nil)
+}
+
+// BenchmarkStreamingIngestCSV streams the text container; the line
+// scanner and field parser dominate.
+func BenchmarkStreamingIngestCSV(b *testing.B) {
+	benchStreamingIngest(b, ".csv", 0, nil)
+}
+
+// BenchmarkStreamingIngestTcpdump imports tcpdump -n text. This reader
+// materializes (the text format needs a post-parse sort), so the
+// figure includes the parse and sort, then a batch replay of the
+// in-memory records.
+func BenchmarkStreamingIngestTcpdump(b *testing.B) {
+	benchStreamingIngest(b, ".txt", 0, nil)
+}
+
+// BenchmarkBatchIngest pins the batch machinery itself on the pcap
+// path: chunk-size scaling, the arena's steady-state reuse, and the
+// single-record compatibility loop the batch path replaced (record —
+// the old pipeline, what the 5× gate is measured against).
+func BenchmarkBatchIngest(b *testing.B) {
+	b.Run("record", func(b *testing.B) { benchStreamingIngest(b, ".pcap", -1, nil) })
+	for _, chunk := range []int{64, 1024, 8192} {
+		chunk := chunk
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			benchStreamingIngest(b, ".pcap", chunk, ingest.NewArena(chunk))
+		})
+	}
 }
 
 // BenchmarkFloodGeneration measures synthesizing a 10-minute

@@ -1,13 +1,23 @@
 // Command benchjson distills `go test -bench` output into a JSON
 // baseline: one entry per benchmark mapping its name to the median
 // ns/op, B/op and allocs/op across however many -count samples the run
-// produced. The repository commits the result (BENCH_pr4.json, via
+// produced. The repository commits the result (BENCH_pr8.json, via
 // `make bench`) so performance changes diff against a recorded
 // trajectory instead of a rerun.
 //
+// With -baseline the distilled run is instead diffed against a
+// committed baseline and the exit status becomes a regression gate:
+// nonzero when any benchmark present in both runs slows down by more
+// than -tolerance (default 10%) in ns/op, or allocates more per op at
+// all. -hot restricts the gate to benchmarks matching a regexp (the
+// hot-path set); everything else is reported but never fails the gate.
+// Benchmarks missing from either side are reported and skipped — a new
+// benchmark must not fail CI for existing without history.
+//
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem -count=6 . | benchjson -o BENCH_pr4.json
+//	go test -run '^$' -bench . -benchmem -count=6 . | benchjson -o BENCH_pr8.json
+//	go test -run '^$' -bench . -benchmem -count=3 . | benchjson -baseline BENCH_pr8.json -hot 'Ingest|Sweep'
 package main
 
 import (
@@ -142,9 +152,102 @@ func run(in io.Reader, out io.Writer) error {
 	return enc.Encode(distill(raw))
 }
 
+// errRegression is the gate verdict: compare found at least one
+// hot-path benchmark over tolerance. main maps it to exit status 1
+// with the offending lines already printed.
+var errRegression = fmt.Errorf("benchjson: regression gate failed")
+
+// compare diffs a fresh run against a committed baseline, writing one
+// line per benchmark, and returns errRegression when a gated benchmark
+// regresses: ns/op beyond tolerance, or any allocs/op increase (alloc
+// counts are deterministic, so any growth is a real code change, not
+// noise). hot, when non-nil, limits the gate to matching names.
+func compare(in io.Reader, out io.Writer, baseline map[string]Stats, tolerance float64, hot *regexp.Regexp) error {
+	raw, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines in input (need -benchmem output)")
+	}
+	fresh := distill(raw)
+
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		cur := fresh[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(out, "NEW   %-40s %12.0f ns/op %8.0f allocs/op (no baseline)\n",
+				name, cur.NsPerOp, cur.AllocsPerOp)
+			continue
+		}
+		gated := hot == nil || hot.MatchString(name)
+		delta := 0.0
+		if base.NsPerOp > 0 {
+			delta = cur.NsPerOp/base.NsPerOp - 1
+		}
+		verdict := "ok   "
+		switch {
+		case gated && delta > tolerance:
+			verdict = "SLOW "
+			failed = true
+		case gated && cur.AllocsPerOp > base.AllocsPerOp:
+			verdict = "ALLOC"
+			failed = true
+		case !gated:
+			verdict = "info "
+		}
+		fmt.Fprintf(out, "%s %-40s %12.0f -> %12.0f ns/op (%+6.1f%%)  %6.0f -> %6.0f allocs/op\n",
+			verdict, name, base.NsPerOp, cur.NsPerOp, delta*100, base.AllocsPerOp, cur.AllocsPerOp)
+	}
+	for name := range baseline {
+		if _, ok := fresh[name]; !ok {
+			fmt.Fprintf(out, "GONE  %-40s (in baseline, not in this run)\n", name)
+		}
+	}
+	if failed {
+		return errRegression
+	}
+	return nil
+}
+
 func main() {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	baselinePath := flag.String("baseline", "", "diff against this committed baseline JSON and gate on regressions instead of emitting JSON")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op slowdown before the gate fails (with -baseline)")
+	hotPat := flag.String("hot", "", "regexp naming the hot-path benchmarks the gate enforces; empty gates everything (with -baseline)")
 	flag.Parse()
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var baseline map[string]Stats
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+		var hot *regexp.Regexp
+		if *hotPat != "" {
+			if hot, err = regexp.Compile(*hotPat); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -hot: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if err := compare(os.Stdin, os.Stdout, baseline, *tolerance, hot); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,75 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(strings.NewReader("PASS\n"), &buf); err == nil {
 		t.Error("empty benchmark stream accepted")
+	}
+}
+
+// gateBaseline matches the sample run: SweepFastPath at its median,
+// RunCellFastPath much faster than the sample (a regression), and
+// StreamingIngestPcap with fewer allocs than the sample reports.
+func gateBaseline(t *testing.T) map[string]Stats {
+	t.Helper()
+	return map[string]Stats{
+		"BenchmarkSweepFastPath":       {NsPerOp: 7266558, AllocsPerOp: 54},
+		"BenchmarkRunCellFastPath":     {NsPerOp: 50000, AllocsPerOp: 2},
+		"BenchmarkStreamingIngestPcap": {NsPerOp: 7217385, AllocsPerOp: 21},
+		"BenchmarkRetired":             {NsPerOp: 1, AllocsPerOp: 0},
+	}
+}
+
+func TestCompareFlagsSlowdown(t *testing.T) {
+	var buf bytes.Buffer
+	err := compare(strings.NewReader(sample), &buf, gateBaseline(t), 0.10, nil)
+	if err == nil {
+		t.Fatalf("81%% ns/op regression passed the 10%% gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SLOW  BenchmarkRunCellFastPath") {
+		t.Errorf("regressed benchmark not flagged SLOW:\n%s", out)
+	}
+	if !strings.Contains(out, "ok    BenchmarkSweepFastPath") {
+		t.Errorf("unchanged benchmark not marked ok:\n%s", out)
+	}
+	if !strings.Contains(out, "GONE  BenchmarkRetired") {
+		t.Errorf("baseline-only benchmark not reported:\n%s", out)
+	}
+}
+
+func TestCompareHotScopesGate(t *testing.T) {
+	var buf bytes.Buffer
+	// Only Ingest benchmarks are gated; the RunCell regression becomes
+	// informational.
+	hot := regexp.MustCompile(`Ingest`)
+	if err := compare(strings.NewReader(sample), &buf, gateBaseline(t), 0.10, hot); err != nil {
+		t.Fatalf("non-hot regression failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "info  BenchmarkRunCellFastPath") {
+		t.Errorf("ungated benchmark not downgraded to info:\n%s", buf.String())
+	}
+}
+
+func TestCompareFlagsAllocGrowth(t *testing.T) {
+	base := gateBaseline(t)
+	st := base["BenchmarkStreamingIngestPcap"]
+	st.AllocsPerOp = 20 // sample reports 21: any growth fails
+	base["BenchmarkStreamingIngestPcap"] = st
+	var buf bytes.Buffer
+	err := compare(strings.NewReader(sample), &buf, base, 0.10, regexp.MustCompile(`Ingest`))
+	if err == nil {
+		t.Fatalf("allocs/op increase passed the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ALLOC BenchmarkStreamingIngestPcap") {
+		t.Errorf("alloc growth not flagged:\n%s", buf.String())
+	}
+}
+
+func TestCompareNewBenchmarkPasses(t *testing.T) {
+	var buf bytes.Buffer
+	base := map[string]Stats{"BenchmarkSweepFastPath": {NsPerOp: 7266558, AllocsPerOp: 54}}
+	if err := compare(strings.NewReader(sample), &buf, base, 0.10, nil); err != nil {
+		t.Fatalf("run with new benchmarks failed the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "NEW   BenchmarkRunCellFastPath") {
+		t.Errorf("new benchmark not reported:\n%s", buf.String())
 	}
 }

@@ -186,6 +186,7 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 	master := flood.NewMaster()
 	reports := make([]*stubReport, cfg.stubs)
 	sources := make([]*ingest.ChanSource, cfg.stubs)
+	feeders := make([]*sourcetrack.Feeder, cfg.stubs)
 	pipeErrs := make([]error, cfg.stubs)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.stubs; i++ {
@@ -224,12 +225,18 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 				tap(now, dir, seg)
 			}
 		})
+		// The keyed bank rides behind a ring feeder: the pipeline
+		// goroutine keys each record and hands shard work to the
+		// feeder's worker, so attribution never stalls the live feed.
+		// The feeder's period barrier keeps the reports bit-identical
+		// to tapping the tracker directly.
+		feeders[i] = sourcetrack.NewFeeder(sr.tracker)
 		p := &ingest.Pipeline{
 			Source:   live,
 			Detector: ingest.WrapAgent(sr.agent),
 			T0:       cfg.t0,
 			Span:     horizon,
-			Tap:      sr.tracker,
+			Tap:      feeders[i],
 		}
 		wg.Add(1)
 		go func(i int) {
@@ -296,6 +303,9 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 		src.CloseSend()
 	}
 	wg.Wait()
+	for _, f := range feeders {
+		f.Close()
+	}
 	for i, err := range pipeErrs {
 		if err != nil {
 			return fmt.Errorf("stub %d pipeline: %w", i, err)

@@ -220,31 +220,36 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 		agg.SetTap(d.opts.Tracker)
 	}
 
-	// One-record lookahead over the source: the paced loop must close
-	// each period at its wall-clock deadline without consuming the
-	// first record of the following period.
+	// Chunked lookahead over the source: records land in an arena chunk
+	// and buf[pos:n] is the unconsumed window. The paced loop cuts each
+	// chunk at the period boundary, so a period closes at its wall-clock
+	// deadline without consuming the first record of the following one —
+	// the batch generalization of the old one-record peek.
+	bs := ingest.AsBatch(d.src)
+	arena := ingest.NewArena(0)
+	buf := arena.Get()
+	defer arena.Put(buf)
 	var (
-		pending    trace.Record
-		hasPending bool
-		srcDone    bool
+		pos, n  int
+		srcDone bool
 	)
-	peek := func() (trace.Record, bool, error) {
-		if hasPending {
-			return pending, true, nil
+	// fill refills the window when it is empty; reads run without d.mu
+	// held, so a slow source never stalls the HTTP plane.
+	fill := func() error {
+		if srcDone || pos < n {
+			return nil
 		}
-		if srcDone {
-			return trace.Record{}, false, nil
+		pos, n = 0, 0
+		for !srcDone && n == 0 {
+			m, err := bs.NextBatch(buf)
+			n = m
+			if err == io.EOF {
+				srcDone = true
+			} else if err != nil {
+				return err
+			}
 		}
-		r, err := d.src.Next()
-		if err == io.EOF {
-			srcDone = true
-			return trace.Record{}, false, nil
-		}
-		if err != nil {
-			return trace.Record{}, false, err
-		}
-		pending, hasPending = r, true
-		return r, true, nil
+		return nil
 	}
 
 	// Records inside already-reported periods were counted before the
@@ -254,25 +259,33 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 	resumeStart := d.t0 * time.Duration(d.resumeOffset)
 	for {
 		// The drain is unpaced and can cover a multi-gigabyte prefix; it
-		// must stay interruptible or the daemon ignores SIGTERM until
-		// every skipped record has been read.
+		// must stay interruptible (one check per chunk) or the daemon
+		// ignores SIGTERM until every skipped record has been read.
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		r, ok, err := peek()
-		if err != nil {
+		if err := fill(); err != nil {
 			return err
 		}
-		if !ok || r.Ts >= resumeStart {
-			break
+		if pos >= n {
+			break // source exhausted inside the resume prefix
 		}
-		hasPending = false
-		d.mu.Lock()
-		err = agg.Feed(r)
-		d.skipped = agg.Skipped()
-		d.mu.Unlock()
-		if err != nil {
-			return err
+		cut := pos
+		for cut < n && buf[cut].Ts < resumeStart {
+			cut++
+		}
+		if cut > pos {
+			d.mu.Lock()
+			err := agg.FeedBatch(buf[pos:cut])
+			d.skipped = agg.Skipped()
+			d.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			pos = cut
+		}
+		if pos < n {
+			break // first live record reached; pacing takes over
 		}
 	}
 
@@ -307,23 +320,34 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 		} else if err := ctx.Err(); err != nil {
 			return err
 		}
-		d.mu.Lock()
 		for {
-			r, ok, err := peek()
-			if err != nil {
-				d.mu.Unlock()
+			if err := fill(); err != nil {
 				return err
 			}
-			if !ok || r.Ts >= agg.NextBoundary() {
-				break
+			if pos >= n {
+				break // source exhausted; remaining periods close empty
 			}
-			hasPending = false
-			if err := agg.Feed(r); err != nil {
+			d.mu.Lock()
+			boundary := agg.NextBoundary()
+			cut := pos
+			for cut < n && buf[cut].Ts < boundary {
+				cut++
+			}
+			if cut > pos {
+				if err := agg.FeedBatch(buf[pos:cut]); err != nil {
+					d.mu.Unlock()
+					return err
+				}
+				pos = cut
+				d.records = agg.Records() - agg.Skipped()
+			}
+			if pos < n {
 				d.mu.Unlock()
-				return err
+				break // head of the next period stays in the window
 			}
-			d.records = agg.Records() - agg.Skipped()
+			d.mu.Unlock()
 		}
+		d.mu.Lock()
 		agg.ClosePeriod()
 		d.mu.Unlock()
 	}

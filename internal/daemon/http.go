@@ -8,33 +8,37 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
 )
 
 // Status is the /status payload. Field names are part of the daemon's
 // HTTP contract; additions are fine, renames are not.
 type Status struct {
-	Trace            string        `json:"trace"`
-	Periods          int           `json:"periods"`
-	TotalPeriods     int           `json:"totalPeriods"`
-	ResumeOffset     int           `json:"resumeOffset"`
-	RecordsProcessed int           `json:"recordsProcessed"`
-	RecordsSkipped   int           `json:"recordsSkipped"`
-	KBar             float64       `json:"kBar"`
-	Statistic        float64       `json:"yn"`
-	Alarmed          bool          `json:"alarmed"`
-	AlarmPeriod      int           `json:"alarmPeriod,omitempty"`
-	AlarmAtNanos     int64         `json:"alarmAtNanos,omitempty"`
-	ReplayDone       bool          `json:"replayDone"`
-	ReplayError      string        `json:"replayError,omitempty"`
-	LastOutSYN       uint64        `json:"lastOutSYN"`
-	LastInSYNACK     uint64        `json:"lastInSYNACK"`
-	Tracking         bool          `json:"tracking"`
-	SourcesTracked   int           `json:"sourcesTracked"`
-	SourcesAlarmed   int           `json:"sourcesAlarmed"`
-	SourcesEvicted   uint64        `json:"sourcesEvicted"`
-	Checkpoints      int           `json:"checkpoints"`
-	CheckpointAge    time.Duration `json:"checkpointAgeNanos,omitempty"`
+	Trace            string `json:"trace"`
+	Periods          int    `json:"periods"`
+	TotalPeriods     int    `json:"totalPeriods"`
+	ResumeOffset     int    `json:"resumeOffset"`
+	RecordsProcessed int    `json:"recordsProcessed"`
+	RecordsSkipped   int    `json:"recordsSkipped"`
+	// RecordsDropped counts records the live source shed under
+	// backpressure (ingest.DropCounter); 0 for file replays.
+	RecordsDropped uint64        `json:"recordsDropped"`
+	KBar           float64       `json:"kBar"`
+	Statistic      float64       `json:"yn"`
+	Alarmed        bool          `json:"alarmed"`
+	AlarmPeriod    int           `json:"alarmPeriod,omitempty"`
+	AlarmAtNanos   int64         `json:"alarmAtNanos,omitempty"`
+	ReplayDone     bool          `json:"replayDone"`
+	ReplayError    string        `json:"replayError,omitempty"`
+	LastOutSYN     uint64        `json:"lastOutSYN"`
+	LastInSYNACK   uint64        `json:"lastInSYNACK"`
+	Tracking       bool          `json:"tracking"`
+	SourcesTracked int           `json:"sourcesTracked"`
+	SourcesAlarmed int           `json:"sourcesAlarmed"`
+	SourcesEvicted uint64        `json:"sourcesEvicted"`
+	Checkpoints    int           `json:"checkpoints"`
+	CheckpointAge  time.Duration `json:"checkpointAgeNanos,omitempty"`
 	// CheckpointFailures counts failed checkpoint writes;
 	// LastCheckpointError is the most recent failure, cleared by the
 	// next success.
@@ -61,6 +65,9 @@ func (d *Daemon) Status() Status {
 		Checkpoints:        d.checkpoints,
 		CheckpointFailures: d.checkpointFailures,
 		T0:                 d.t0,
+	}
+	if dc, ok := d.src.(ingest.DropCounter); ok {
+		s.RecordsDropped = dc.Dropped()
 	}
 	if d.lastCheckpointErr != nil {
 		s.LastCheckpointError = d.lastCheckpointErr.Error()
@@ -254,6 +261,10 @@ var metricDefs = []metricDef{
 	{"syndog_replay_failed", "gauge", func(s Status) string { return fmt.Sprintf("%d", b2i(s.ReplayError != "")) }, nil},
 	{"syndog_records_processed_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.RecordsProcessed) }, nil},
 	{"syndog_records_skipped_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.RecordsSkipped) }, nil},
+	// Backpressure loss on live feeds (ChanSource drop mode); always 0
+	// for file replays. Emitted unconditionally so wiring a live source
+	// never changes the exposition's line set.
+	{"syndog_records_dropped_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.RecordsDropped) }, nil},
 	{"syndog_resume_offset_periods", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.ResumeOffset) }, nil},
 
 	// Last completed period's raw counts: the pair whose difference

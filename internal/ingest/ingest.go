@@ -106,6 +106,16 @@ type RecordTap interface {
 	ClosePeriod(index int, end time.Duration)
 }
 
+// BatchRecordTap is the chunked upgrade of RecordTap: taps that
+// implement it receive each counted run of records in one call instead
+// of one call per record, in the same order Record would have seen
+// them. FeedBatch prefers it when present; Feed still delivers records
+// one at a time.
+type BatchRecordTap interface {
+	RecordTap
+	RecordBatch(recs []trace.Record)
+}
+
 // Aggregator is the push-side period folder: Feed it time-ordered
 // records and it counts them into the current period, closing each
 // period boundary through the Detector. Its skip/boundary/tail
@@ -117,11 +127,12 @@ type Aggregator struct {
 	sink Sink
 	tap  RecordTap
 
-	span    time.Duration // 0 while unknown
-	periods int           // span / t0; -1 while span unknown
-	done    int
-	next    time.Duration // end of the current open period
-	resumed time.Duration // records before this were counted pre-snapshot
+	span     time.Duration // 0 while unknown
+	periods  int           // span / t0; -1 while span unknown
+	done     int
+	next     time.Duration  // end of the current open period
+	resumed  time.Duration  // records before this were counted pre-snapshot
+	batchTap BatchRecordTap // tap's chunked face, when it has one
 
 	out, in core.PeriodCounts
 
@@ -194,7 +205,85 @@ func (a *Aggregator) Feed(r trace.Record) error {
 
 // SetTap attaches a keyed demux tap. It must be set before the first
 // Feed; the tap then sees every counted record and period close.
-func (a *Aggregator) SetTap(tap RecordTap) { a.tap = tap }
+func (a *Aggregator) SetTap(tap RecordTap) {
+	a.tap = tap
+	a.batchTap, _ = tap.(BatchRecordTap)
+}
+
+// FeedBatch counts a chunk of records, bit-identical to calling Feed
+// on each in order — same counts, same boundary closes, same tap
+// sequence, same error at the same record — but with the per-record
+// interface dispatch amortized away: records are processed in runs
+// that share one boundary/span/resume decision, so the inner loop is a
+// timestamp-order check and a counter increment. On error, records
+// before the offending one are fully counted, exactly as the
+// single-record path leaves them.
+func (a *Aggregator) FeedBatch(recs []trace.Record) error {
+	i, n := 0, len(recs)
+	for i < n {
+		r := &recs[i]
+		// Head-of-run validation: the same checks Feed applies to every
+		// record. Records inside the run are covered by the run's scan
+		// invariant (non-decreasing and below the open period's end).
+		if r.Ts < 0 {
+			return fmt.Errorf("ingest: record with negative timestamp %v", r.Ts)
+		}
+		if a.sawRecord && r.Ts < a.lastTs {
+			return fmt.Errorf("ingest: record at %v out of order (previous at %v)", r.Ts, a.lastTs)
+		}
+		if a.span > 0 && r.Ts >= a.span {
+			return fmt.Errorf("ingest: record at %v outside span %v", r.Ts, a.span)
+		}
+		if r.Ts < a.resumed {
+			// Resume-skip: counted before the snapshot was taken.
+			a.lastTs, a.sawRecord = r.Ts, true
+			a.records++
+			a.skipped++
+			i++
+			continue
+		}
+		for r.Ts >= a.next && (a.periods < 0 || a.done < a.periods) {
+			a.closePeriod()
+		}
+		if a.periods >= 0 && a.done >= a.periods {
+			// Past the last complete period: validated and tallied but
+			// never counted, mirroring Feed's early return.
+			a.lastTs, a.sawRecord = r.Ts, true
+			a.records++
+			i++
+			continue
+		}
+		// The run: every following record that keeps time order and
+		// stays inside the open period. Within the run no record can be
+		// negative (>= head), out of span (Ts < next <= span), in a
+		// resumed period (>= head >= resumed), or across a boundary —
+		// one check per chunk segment instead of four per record.
+		next, prev := a.next, r.Ts
+		j := i + 1
+		for j < n {
+			ts := recs[j].Ts
+			if ts < prev || ts >= next {
+				break
+			}
+			prev = ts
+			j++
+		}
+		for k := i; k < j; k++ {
+			a.count(recs[k])
+		}
+		a.lastTs, a.sawRecord = prev, true
+		a.records += j - i
+		if a.batchTap != nil {
+			a.batchTap.RecordBatch(recs[i:j])
+		} else if a.tap != nil {
+			for k := i; k < j; k++ {
+				a.tap.Record(recs[k])
+			}
+		}
+		i = j
+	}
+	return nil
+}
 
 // count adds one record to the open period's counters. KindOther and
 // KindNotTCP records are ignored, exactly as Sniffer.Count tallies
@@ -294,10 +383,24 @@ type Pipeline struct {
 	// Tap, if set, receives every counted record and period close —
 	// the keyed source-attribution demux rides here.
 	Tap RecordTap
+	// Chunk is the batch size in records: 0 picks DefaultChunk, a
+	// negative value selects the single-record compatibility loop
+	// (one Source.Next and one Feed per record). Both paths are
+	// bit-identical; the batch path is simply faster.
+	Chunk int
+	// Arena, if set, supplies the run's chunk buffer; callers running
+	// many pipelines share one arena so chunks recycle across runs.
+	// Nil allocates one chunk for the run.
+	Arena *Arena
 }
 
 // Run drains the source through the aggregator and finishes the tail.
 // The source is not closed; the caller owns it.
+//
+// Records move in chunks: the source's native NextBatch (or the
+// single-record adapter) fills an arena chunk, and the aggregator
+// folds each chunk with one boundary decision per run of records.
+// Chunk < 0 falls back to the record-at-a-time loop.
 func (p *Pipeline) Run() error {
 	span := p.Span
 	if span == 0 {
@@ -312,15 +415,16 @@ func (p *Pipeline) Run() error {
 	if p.Tap != nil {
 		agg.SetTap(p.Tap)
 	}
-	for {
-		r, err := p.Source.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+	if p.Chunk < 0 {
+		if err := p.runSingle(agg); err != nil {
 			return err
 		}
-		if err := agg.Feed(r); err != nil {
+	} else {
+		arena := p.Arena
+		if arena == nil || arena.Size() != p.chunkSize() {
+			arena = NewArena(p.chunkSize())
+		}
+		if err := drain(AsBatch(p.Source), agg, arena); err != nil {
 			return err
 		}
 	}
@@ -331,4 +435,29 @@ func (p *Pipeline) Run() error {
 		}
 	}
 	return agg.Finish(finalSpan)
+}
+
+func (p *Pipeline) chunkSize() int {
+	if p.Chunk > 0 {
+		return p.Chunk
+	}
+	return DefaultChunk
+}
+
+// runSingle is the legacy record-at-a-time loop, kept as the
+// compatibility path (and as the reference the equivalence suites pin
+// the batch path against).
+func (p *Pipeline) runSingle(agg *Aggregator) error {
+	for {
+		r, err := p.Source.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := agg.Feed(r); err != nil {
+			return err
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flood"
@@ -50,6 +51,21 @@ func (s *TraceSource) Next() (trace.Record, error) {
 	return r, nil
 }
 
+// NextBatch copies up to len(buf) records into buf. For an in-memory
+// trace a batch is a single copy, so the per-record cost of the batch
+// pipeline over this source is pure memmove.
+func (s *TraceSource) NextBatch(buf []trace.Record) (int, error) {
+	if s.pos >= len(s.tr.Records) {
+		return 0, io.EOF
+	}
+	n := copy(buf, s.tr.Records[s.pos:])
+	s.pos += n
+	if s.pos >= len(s.tr.Records) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
 // Span returns the trace's declared span.
 func (s *TraceSource) Span() time.Duration { return s.tr.Span }
 
@@ -80,19 +96,50 @@ func NewFloodSource(cfg flood.Config) (*TraceSource, error) {
 
 // ChanSource is the channel-backed live source: a netsim router tap
 // (or any producer goroutine) sends records while the pipeline
-// consumes them. Sends block once the buffer fills — natural
-// backpressure against a slow consumer.
+// consumes them. By default sends block once the buffer fills —
+// natural backpressure against a slow consumer. In drop mode
+// (NewChanSourceDrop) a full buffer sheds the record instead and
+// counts it, the right policy for a live capture feed where blocking
+// the capture path loses ground truth anyway; the count is surfaced
+// through Dropped so the loss is never silent.
 type ChanSource struct {
-	ch chan trace.Record
+	ch      chan trace.Record
+	drop    bool
+	dropped atomic.Uint64
 }
 
 // NewChanSource builds a live source buffering up to buf records.
+// Sends block when the buffer is full.
 func NewChanSource(buf int) *ChanSource {
 	return &ChanSource{ch: make(chan trace.Record, buf)}
 }
 
-// Send delivers one record to the consumer.
-func (s *ChanSource) Send(r trace.Record) { s.ch <- r }
+// NewChanSourceDrop builds a live source buffering up to buf records
+// that sheds (and counts) records instead of blocking when the buffer
+// overruns.
+func NewChanSourceDrop(buf int) *ChanSource {
+	return &ChanSource{ch: make(chan trace.Record, buf), drop: true}
+}
+
+// Send delivers one record to the consumer. In drop mode a full
+// buffer discards the record and bumps the drop counter instead of
+// blocking.
+func (s *ChanSource) Send(r trace.Record) {
+	if s.drop {
+		select {
+		case s.ch <- r:
+		default:
+			s.dropped.Add(1)
+		}
+		return
+	}
+	s.ch <- r
+}
+
+// Dropped reports how many records Send has shed because the buffer
+// was full. Always 0 outside drop mode. ChanSource implements
+// DropCounter so the daemon can export the count in /metrics.
+func (s *ChanSource) Dropped() uint64 { return s.dropped.Load() }
 
 // CloseSend marks the end of the stream; the consuming pipeline's
 // Next returns io.EOF once the buffer drains.
@@ -128,6 +175,35 @@ func (s *ChanSource) Next() (trace.Record, error) {
 	return r, nil
 }
 
+// NextBatch blocks for the first record, then opportunistically drains
+// whatever else is already buffered without blocking again — a busy
+// feed fills whole chunks, an idle one degrades to one record per call
+// with no added latency.
+func (s *ChanSource) NextBatch(buf []trace.Record) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	r, ok := <-s.ch
+	if !ok {
+		return 0, io.EOF
+	}
+	buf[0] = r
+	n := 1
+	for n < len(buf) {
+		select {
+		case r, ok := <-s.ch:
+			if !ok {
+				return n, io.EOF
+			}
+			buf[n] = r
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
 // Close implements Source. It does not close the send side; the
 // producer owns that via CloseSend.
 func (s *ChanSource) Close() error { return nil }
@@ -143,6 +219,12 @@ type pcapSource struct {
 func (s *pcapSource) Next() (trace.Record, error) { return s.s.NextDir(s.prefix) }
 func (s *pcapSource) Span() time.Duration         { return s.s.Span() }
 func (s *pcapSource) Close() error                { return closeAll(s.c) }
+
+// NextBatch runs the whole decode+classify loop inside trace.PcapStream
+// — the native batch face of pcap ingest.
+func (s *pcapSource) NextBatch(buf []trace.Record) (int, error) {
+	return s.s.NextBatchDir(s.prefix, buf)
+}
 
 // IPTraceSource streams an iptrace capture, classifying each payload
 // and taking direction from the record's tx flag — no stub prefix
@@ -195,6 +277,20 @@ func (s *IPTraceSource) Next() (trace.Record, error) {
 			DstPort: seg.TCP.DstPort,
 		}, nil
 	}
+}
+
+// NextBatch decodes up to len(buf) classified records into buf.
+func (s *IPTraceSource) NextBatch(buf []trace.Record) (int, error) {
+	n := 0
+	for n < len(buf) {
+		r, err := s.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = r
+		n++
+	}
+	return n, nil
 }
 
 // Span returns lastTs+1 once the stream is exhausted, 0 before.

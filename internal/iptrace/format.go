@@ -1,6 +1,7 @@
 package iptrace
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -100,8 +101,14 @@ type CaptureReader struct {
 	scratch []byte
 }
 
-// NewCaptureReader checks the magic and returns a reader.
+// NewCaptureReader checks the magic and returns a reader. Unbuffered
+// readers (no io.ByteReader, e.g. a raw *os.File) are wrapped in a
+// bufio.Reader so the two small reads per record do not become two
+// syscalls per record.
 func NewCaptureReader(r io.Reader) (*CaptureReader, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReaderSize(r, 1<<16)
+	}
 	var magic [len(captureMagic)]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, captureTrunc(err)

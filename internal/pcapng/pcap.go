@@ -11,6 +11,7 @@
 package pcapng
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -169,7 +170,16 @@ type Reader struct {
 }
 
 // NewReader parses the file header and returns a Reader.
+//
+// Each packet record costs two small reads (header, then data). Over a
+// raw *os.File those are two syscalls per packet and dominate streaming
+// ingest, so readers that do not already buffer — detected by the
+// absence of io.ByteReader, which bufio.Reader, bytes.Reader and
+// bytes.Buffer all provide — are wrapped in a 64 KiB bufio.Reader.
 func NewReader(r io.Reader) (*Reader, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReaderSize(r, 1<<16)
+	}
 	var hdr [fileHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcapng: read header: %w", errTrunc(err))

@@ -324,6 +324,13 @@ func (s *shard) admit(key netip.Prefix, done int, cfg *Config) *keyState {
 
 func (s *shard) observeSYN(key netip.Prefix, done int, cfg *Config) {
 	s.mu.Lock()
+	s.observeSYNLocked(key, done, cfg)
+	s.mu.Unlock()
+}
+
+// observeSYNLocked is observeSYN under an already-held shard lock —
+// the batch paths take the lock once per chunk instead of per record.
+func (s *shard) observeSYNLocked(key netip.Prefix, done int, cfg *Config) {
 	s.syns++
 	st := s.states[key]
 	if st == nil {
@@ -332,18 +339,21 @@ func (s *shard) observeSYN(key netip.Prefix, done int, cfg *Config) {
 	st.count++
 	st.outSYN++
 	s.siftDown(st.idx)
-	s.mu.Unlock()
 }
 
 func (s *shard) observeSYNACK(key netip.Prefix) {
 	s.mu.Lock()
+	s.observeSYNACKLocked(key)
+	s.mu.Unlock()
+}
+
+func (s *shard) observeSYNACKLocked(key netip.Prefix) {
 	if st := s.states[key]; st != nil {
 		s.synAcks++
 		st.inSYNACK++
 	} else {
 		s.untracked++
 	}
-	s.mu.Unlock()
 }
 
 func (s *shard) closePeriod(end time.Duration, cfg *core.Config, onReport func(netip.Prefix, core.Report)) {
@@ -379,6 +389,13 @@ type Tracker struct {
 	// single-caller ClosePeriod discipline already excludes in-flight
 	// records at boundaries.
 	sweepMu sync.RWMutex
+
+	// batchMu guards the per-shard grouping scratch ObserveBatch uses.
+	// The canonical caller (the aggregator's single Feed goroutine) is
+	// serial; the lock merely keeps an unexpected concurrent batch
+	// caller safe, at one uncontended lock per chunk.
+	batchMu sync.Mutex
+	scratch [][]feedOp
 
 	// OnReport, if set, receives every per-key period report as it
 	// closes. Called under the shard lock; keep it cheap. Tests use it
@@ -442,11 +459,11 @@ func (t *Tracker) keyOf(a netip.Addr) (netip.Prefix, bool) {
 	return p, true
 }
 
-// shardFor routes a key to its lock stripe (inline FNV-1a; no
+// shardIndex routes a key to its lock stripe (inline FNV-1a; no
 // per-record allocation).
-func (t *Tracker) shardFor(key netip.Prefix) *shard {
+func (t *Tracker) shardIndex(key netip.Prefix) int {
 	if len(t.shards) == 1 {
-		return t.shards[0]
+		return 0
 	}
 	const (
 		offset64 = 14695981039346656037
@@ -460,7 +477,11 @@ func (t *Tracker) shardFor(key netip.Prefix) *shard {
 	}
 	h ^= uint64(uint8(key.Bits()))
 	h *= prime64
-	return t.shards[h%uint64(len(t.shards))]
+	return int(h % uint64(len(t.shards)))
+}
+
+func (t *Tracker) shardFor(key netip.Prefix) *shard {
+	return t.shards[t.shardIndex(key)]
 }
 
 // Observe routes one record. Only the pair the paper's detector pairs
@@ -489,6 +510,79 @@ func (t *Tracker) Observe(r trace.Record) {
 
 // Record implements the ingest.RecordTap demux hook.
 func (t *Tracker) Record(r trace.Record) { t.Observe(r) }
+
+// keyRecord classifies one record into a feedOp: outgoing SYNs keyed
+// by source, incoming SYN/ACKs by destination, everything else (and
+// unkeyable addresses, which bump the unkeyed counter) ignored.
+func (t *Tracker) keyRecord(r *trace.Record) (feedOp, bool) {
+	switch {
+	case r.Dir == trace.DirOut && r.Kind == packet.KindSYN:
+		key, ok := t.keyOf(r.Src)
+		if !ok {
+			t.unkeyed.Add(1)
+			return feedOp{}, false
+		}
+		return feedOp{key: key}, true
+	case r.Dir == trace.DirIn && r.Kind == packet.KindSYNACK:
+		key, ok := t.keyOf(r.Dst)
+		if !ok {
+			t.unkeyed.Add(1)
+			return feedOp{}, false
+		}
+		return feedOp{key: key, synAck: true}, true
+	}
+	return feedOp{}, false
+}
+
+// applyLocked folds one pre-keyed op into the shard. Callers hold the
+// shard lock; done is the tracker's completed-period clock, stable for
+// the whole chunk because period closes are excluded while a batch is
+// in flight.
+func (s *shard) applyLocked(op feedOp, done int, cfg *Config) {
+	if op.synAck {
+		s.observeSYNACKLocked(op.key)
+	} else {
+		s.observeSYNLocked(op.key, done, cfg)
+	}
+}
+
+// ObserveBatch routes a chunk of records, grouping ops per shard so
+// each shard lock is taken once per chunk instead of once per record.
+// Per-shard op order preserves record order, so the resulting state is
+// bit-identical to calling Observe record by record (the equivalence
+// the keyed fuzz target pins). The grouping scratch is retained across
+// calls; steady-state batches allocate nothing.
+func (t *Tracker) ObserveBatch(recs []trace.Record) {
+	t.batchMu.Lock()
+	defer t.batchMu.Unlock()
+	if t.scratch == nil {
+		t.scratch = make([][]feedOp, len(t.shards))
+	}
+	for i := range recs {
+		op, ok := t.keyRecord(&recs[i])
+		if !ok {
+			continue
+		}
+		si := t.shardIndex(op.key)
+		t.scratch[si] = append(t.scratch[si], op)
+	}
+	done := int(t.periods.Load())
+	for si, ops := range t.scratch {
+		if len(ops) == 0 {
+			continue
+		}
+		s := t.shards[si]
+		s.mu.Lock()
+		for _, op := range ops {
+			s.applyLocked(op, done, &t.cfg)
+		}
+		s.mu.Unlock()
+		t.scratch[si] = ops[:0]
+	}
+}
+
+// RecordBatch implements the ingest.BatchRecordTap demux hook.
+func (t *Tracker) RecordBatch(recs []trace.Record) { t.ObserveBatch(recs) }
 
 // ClosePeriod closes the observation period for every tracked key.
 // index is the pipeline's period index (informational; the tracker

@@ -92,6 +92,37 @@ func (s *BinaryStream) Next() (Record, error) {
 	}, nil
 }
 
+// NextBatch decodes up to len(buf) records into buf, returning how
+// many were filled. io.EOF (possibly alongside n > 0) means the
+// header's count has been delivered; ErrTruncated means the stream
+// ended early. The decode loop stays inside one call, so the per-record
+// cost is a ReadFull from the bufio buffer plus field extraction — no
+// interface dispatch.
+func (s *BinaryStream) NextBatch(buf []Record) (int, error) {
+	n := 0
+	rec := &s.rec
+	for n < len(buf) {
+		if s.read >= s.count {
+			return n, io.EOF
+		}
+		if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+			return n, wrapTrunc(err)
+		}
+		s.read++
+		buf[n] = Record{
+			Ts:      time.Duration(binary.LittleEndian.Uint64(rec[0:8])),
+			Kind:    packet.Kind(rec[8]),
+			Dir:     Direction(rec[9]),
+			Src:     netip.AddrFrom4([4]byte(rec[10:14])),
+			Dst:     netip.AddrFrom4([4]byte(rec[14:18])),
+			SrcPort: binary.LittleEndian.Uint16(rec[18:20]),
+			DstPort: binary.LittleEndian.Uint16(rec[20:22]),
+		}
+		n++
+	}
+	return n, nil
+}
+
 // Close implements the ingest Source contract; the stream does not own
 // the underlying reader.
 func (s *BinaryStream) Close() error { return nil }
@@ -149,6 +180,21 @@ func (s *CSVStream) Next() (Record, error) {
 		return Record{}, err
 	}
 	return Record{}, io.EOF
+}
+
+// NextBatch decodes up to len(buf) records into buf. io.EOF (possibly
+// alongside n > 0) marks the end of input.
+func (s *CSVStream) NextBatch(buf []Record) (int, error) {
+	n := 0
+	for n < len(buf) {
+		r, err := s.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = r
+		n++
+	}
+	return n, nil
 }
 
 // Close implements the ingest Source contract.
@@ -257,6 +303,37 @@ func (s *PcapStream) NextDir(stubPrefix netip.Prefix) (Record, error) {
 		SrcPort: seg.TCP.SrcPort,
 		DstPort: seg.TCP.DstPort,
 	}, nil
+}
+
+// NextBatchDir decodes up to len(buf) classified records into buf with
+// NextDir's destination-based direction rule. io.EOF (possibly
+// alongside n > 0) marks a clean end of stream. The whole
+// decode+classify loop runs inside one call against the buffered
+// reader, which is what lets the batch pipeline amortize its
+// per-record costs.
+func (s *PcapStream) NextBatchDir(stubPrefix netip.Prefix, buf []Record) (int, error) {
+	n := 0
+	for n < len(buf) {
+		ts, seg, err := s.next()
+		if err != nil {
+			return n, err
+		}
+		dir := DirOut
+		if stubPrefix.Contains(seg.IP.Dst) {
+			dir = DirIn
+		}
+		buf[n] = Record{
+			Ts:      ts,
+			Kind:    seg.Kind(),
+			Dir:     dir,
+			Src:     seg.IP.Src,
+			Dst:     seg.IP.Dst,
+			SrcPort: seg.TCP.SrcPort,
+			DstPort: seg.TCP.DstPort,
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Close implements the ingest Source contract.

@@ -67,6 +67,54 @@ func ReadTcpdump(r io.Reader, name string, stubPrefix netip.Prefix) (*Trace, err
 	return t, nil
 }
 
+// WriteTcpdump renders a trace in the `tcpdump -n` text format
+// ReadTcpdump parses — the round-trip used to build text fixtures for
+// the streaming importer. Each record becomes one line:
+//
+//	12:00:00.123456 IP 10.1.2.3.443 > 192.168.1.5.51234: Flags [S], seq 0, win 0, length 0
+//
+// Timestamps render as time of day starting from the record's Ts;
+// traces spanning 24h or more are rejected (the text format carries no
+// date, and ReadTcpdump's midnight-rollover heuristic must not be fed
+// fabricated rollovers). KindNotTCP records are skipped — they have no
+// Flags field — so a round trip preserves exactly the classifiable
+// records.
+func WriteTcpdump(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Kind == packet.KindNotTCP {
+			continue
+		}
+		if r.Ts < 0 || r.Ts >= 24*time.Hour {
+			return fmt.Errorf("trace: record at %v outside the text format's single-day clock", r.Ts)
+		}
+		var flags string
+		switch r.Kind {
+		case packet.KindSYN:
+			flags = "S"
+		case packet.KindSYNACK:
+			flags = "S."
+		case packet.KindFIN:
+			flags = "F."
+		case packet.KindRST:
+			flags = "R."
+		default:
+			flags = "."
+		}
+		ts := r.Ts
+		h := ts / time.Hour
+		m := (ts % time.Hour) / time.Minute
+		s := (ts % time.Minute) / time.Second
+		us := (ts % time.Second) / time.Microsecond
+		if _, err := fmt.Fprintf(bw, "%02d:%02d:%02d.%06d IP %s.%d > %s.%d: Flags [%s], seq 0, win 0, length 0\n",
+			h, m, s, us, r.Src, r.SrcPort, r.Dst, r.DstPort, flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // parseTcpdumpLine extracts one record; ok=false means skip the line.
 func parseTcpdumpLine(line string, stubPrefix netip.Prefix) (Record, time.Duration, bool, error) {
 	fields := strings.Fields(line)

@@ -182,3 +182,57 @@ func padTwo(v int) string {
 	}
 	return string(rune('0'+v/10)) + string(rune('0'+v%10))
 }
+
+// TestWriteTcpdumpRoundTrip pins the writer against the reader: a
+// generated trace rendered to tcpdump text and re-imported yields the
+// same records (timestamps truncated to the format's microsecond
+// resolution, directions re-inferred from the stub prefix).
+func TestWriteTcpdumpRoundTrip(t *testing.T) {
+	p := Auckland()
+	p.Span = 2 * time.Minute
+	tr, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTcpdump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	stub := netip.MustParsePrefix("130.216.0.0/16")
+	got, err := ReadTcpdump(strings.NewReader(buf.String()), tr.Name, stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("round trip kept %d of %d records", len(got.Records), len(tr.Records))
+	}
+	// The reader starts its clock at the first accepted packet, so the
+	// round trip shifts every timestamp by the first record's (
+	// microsecond-truncated) Ts.
+	base := tr.Records[0].Ts.Truncate(time.Microsecond)
+	for i, want := range tr.Records {
+		g := got.Records[i]
+		if g.Kind != want.Kind || g.Src != want.Src || g.Dst != want.Dst ||
+			g.SrcPort != want.SrcPort || g.DstPort != want.DstPort || g.Dir != want.Dir {
+			t.Fatalf("record %d = %+v, want %+v", i, g, want)
+		}
+		// parseTimeOfDay goes through a float64 seconds value, which
+		// can sit 1ns under the exact microsecond; allow exactly that.
+		diff := g.Ts - (want.Ts.Truncate(time.Microsecond) - base)
+		if diff < -time.Nanosecond || diff > time.Nanosecond {
+			t.Fatalf("record %d ts = %v, want %v truncated and re-based", i, g.Ts, want.Ts)
+		}
+	}
+}
+
+// TestWriteTcpdumpRejectsMultiDay pins the single-day clock guard.
+func TestWriteTcpdumpRejectsMultiDay(t *testing.T) {
+	tr := &Trace{Records: []Record{{
+		Ts: 24 * time.Hour, Kind: packet.KindSYN, Dir: DirOut,
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("11.0.0.1"),
+	}}}
+	var buf strings.Builder
+	if err := WriteTcpdump(&buf, tr); err == nil {
+		t.Fatal("24h timestamp accepted by the single-day text format")
+	}
+}
