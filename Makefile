@@ -1,15 +1,15 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-gate examples experiments fast-experiments evasion fuzz soak soak-short clean
+.PHONY: all build vet test race check bench bench-gate examples experiments fast-experiments evasion distributed fuzz soak soak-short clean
 
 all: build vet test
 
 # The full pre-merge gate: static checks, the test suite, the race
-# detector, the seeded adversarial evasion matrix, a short-budget soak
-# of the multi-agent daemon, and the hot-path bench-regression gate in
-# one target.
-check: vet test race evasion soak-short bench-gate
+# detector, the seeded adversarial evasion matrix, the distributed
+# detection smoke, a short-budget soak of the multi-agent daemon, and
+# the hot-path bench-regression gate in one target.
+check: vet test race evasion distributed soak-short bench-gate
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,12 @@ record:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Root benchmark suite, 6 samples per benchmark, distilled into the
-# committed BENCH_pr8.json baseline (median ns/op, B/op, allocs/op per
+# committed BENCH_pr9.json baseline (median ns/op, B/op, allocs/op per
 # benchmark) so perf changes diff against a recorded trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr8.raw
-	$(GO) run ./cmd/benchjson -o BENCH_pr8.json < BENCH_pr8.raw
-	rm -f BENCH_pr8.raw
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr9.raw
+	$(GO) run ./cmd/benchjson -o BENCH_pr9.json < BENCH_pr9.raw
+	rm -f BENCH_pr9.raw
 
 # Enforced regression gate over the hot-path benchmarks: rerun them
 # (medians of GATECOUNT samples) and diff against the committed
@@ -46,10 +46,10 @@ bench:
 # reported informationally. Raise GATETOL on noisy shared hardware.
 GATECOUNT ?= 3
 GATETOL ?= 0.10
-GATEHOT ?= Ingest|BatchIngest|SweepFastPath|RunCellFastPath
+GATEHOT ?= Ingest|BatchIngest|SweepFastPath|RunCellFastPath|Fusion
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(GATEHOT)' -benchmem -count=$(GATECOUNT) . \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_pr8.json -tolerance $(GATETOL) -hot '$(GATEHOT)'
+		| $(GO) run ./cmd/benchjson -baseline BENCH_pr9.json -tolerance $(GATETOL) -hot '$(GATEHOT)'
 
 # Benchmarks across every package, one sample each (no JSON).
 bench-all:
@@ -78,6 +78,13 @@ ablations:
 # attacks. Same seed, byte-identical table.
 evasion:
 	$(GO) run ./cmd/experiment -run evasion -fast
+
+# Distributed detection smoke (seconds): a flood split across four
+# sites at half each site's local floor, invisible to every local
+# detector, recovered by the fusion coordinator from censored summary
+# streams. Seeded and deterministic.
+distributed:
+	$(GO) run ./cmd/experiment -run distributed -fast
 
 # Multi-agent daemon soak under the race detector: hours of
 # operational churn (checkpoint, kill, resume, live reload) compressed

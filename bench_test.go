@@ -22,10 +22,12 @@ import (
 	"repro/internal/cusum"
 	"repro/internal/experiment"
 	"repro/internal/flood"
+	"repro/internal/fusion"
 	"repro/internal/ingest"
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 	"repro/internal/trace"
 )
 
@@ -287,6 +289,57 @@ func BenchmarkSourceTrack(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- multi-vantage fusion ----------------------------------------------
+
+// BenchmarkFusion measures the coordinator's steady-state ingest cost:
+// four monitors streaming censored summaries in period order, the
+// coordinator advancing the fusion frontier (rank normalization over
+// the sliding histories, fused CUSUM, localization bookkeeping) once
+// per complete period. The periods/s metric is the sustained fusion
+// rate; one period of wall clock buys t0 = 20s of fleet coverage, so
+// the headroom is ~6 orders of magnitude.
+func BenchmarkFusion(b *testing.B) {
+	const monitors, periods = 4, 512
+	names := []string{"LBL", "Harvard", "UNC", "Auckland"}
+	batches := make([][]summary.PeriodSummary, 0, periods)
+	for p := 0; p < periods; p++ {
+		batch := make([]summary.PeriodSummary, monitors)
+		for m := range batch {
+			// Deterministic quiet-looking X with per-monitor phase; a
+			// few digests so localization bookkeeping is exercised.
+			x := 0.1 + 0.05*float64((p*7+m*13)%11)/10
+			batch[m] = summary.PeriodSummary{
+				Monitor:  names[m],
+				Index:    p,
+				OutSYN:   1000,
+				InSYNACK: 900,
+				K:        45,
+				X:        x,
+				Sources: []summary.SourceDigest{
+					{Key: netip.MustParsePrefix("198.18.0.0/24"), SYNs: 40, X: x},
+					{Key: netip.MustParsePrefix("198.18.1.0/24"), SYNs: 30, X: x},
+				},
+			}
+		}
+		batches = append(batches, batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord, err := fusion.NewCoordinator(fusion.Config{Expect: monitors})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range batches {
+			coord.Ingest(batch)
+		}
+		if got := len(coord.Fused(0)); got != periods {
+			b.Fatalf("fused %d periods, want %d", got, periods)
+		}
+	}
+	b.ReportMetric(float64(periods)*float64(b.N)/b.Elapsed().Seconds(), "periods/s")
 }
 
 // --- hot-path micro-benchmarks -----------------------------------------

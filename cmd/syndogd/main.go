@@ -13,7 +13,8 @@
 //	GET /status   -> JSON snapshot (periods, K-bar, yn, alarm, replay + checkpoint state)
 //	GET /reports  -> JSON array of per-period reports
 //	GET /sources  -> JSON ranked per-source attribution (with -track-sources)
-//	GET /metrics  -> Prometheus-style text exposition
+//	GET /summaries-> JSON censored per-period summaries, the uplink wire form (?from=N)
+//	GET /metrics  -> Prometheus-style text exposition (incl. period/checkpoint latency histograms)
 //
 // With more than one agent the plane grows per-agent routing:
 //
@@ -22,7 +23,14 @@
 //	GET  /status                    -> {"agents": {name: status, ...}}
 //	GET  /metrics                   -> every metric once, one sample per agent: name{agent="x"} v
 //	POST /reload                    -> apply a new spec set (body, or re-read -config when empty)
+//	GET  /reloads                   -> ring-buffered reload audit history (time, diff, per-agent outcome)
 //	GET  /debug/bundle              -> tar.gz of config + per-agent status/reports/sources/metrics/state
+//	GET  /debug/pprof/...           -> net/http/pprof profiles (only with -pprof)
+//
+// With -uplink every agent POSTs its per-period summaries — censored
+// to the wire form by -uplink-censor/-uplink-topk — to a syndogfusion
+// coordinator, batched and bounded so a slow or dead coordinator never
+// stalls replay (drops are counted at syndog_uplink_dropped_total).
 //
 // Usage:
 //
@@ -84,6 +92,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 )
 
 func main() {
@@ -110,6 +119,10 @@ func run(args []string) error {
 		statePath  = fs.String("state", "", "snapshot file: loaded at start if present, written at shutdown")
 		checkpoint = fs.Duration("checkpoint", 0, "periodic snapshot interval (0 = only at shutdown; needs -state)")
 		track      = fs.Bool("track-sources", false, "run the per-source attribution engine (/sources endpoint)")
+		uplink     = fs.String("uplink", "", "fusion coordinator base URL; agents POST censored period summaries to URL/ingest")
+		upCensor   = fs.Float64("uplink-censor", 0, "censoring threshold λ: summaries with Xn below it uplink counters only (0 = no censoring)")
+		upTopK     = fs.Int("uplink-topk", 0, "source digests per uplinked summary (0 = default 8, negative = none)")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the HTTP plane")
 		keyBits    = fs.Int("key-bits", sourcetrack.DefaultKeyBits, "source key prefix width: 32 per host, 24, 16, ... (needs -track-sources)")
 		maxSources = fs.Int("max-sources", sourcetrack.DefaultMaxSources, "per-source CUSUM states to keep (Space-Saving admission; needs -track-sources)")
 		mismatch   = fs.String("on-mismatch", "", "snapshot/flag disagreement policy: error, migrate, reset (default error)")
@@ -174,11 +187,30 @@ func run(args []string) error {
 		return errors.New("missing -in (or -agent/-config)")
 	}
 
+	// The uplink is one shared client for every agent: each closed
+	// period's summary is censored to the wire form and batched to the
+	// coordinator, never blocking replay (backpressure drops and
+	// counts, like ChanSource's drop mode).
+	sumCfg := summary.Config{Censor: *upCensor, TopK: *upTopK}
+	var up *summary.Uplink
+	if *uplink != "" {
+		if up, err = summary.NewUplink(summary.UplinkConfig{
+			URL:     *uplink,
+			Summary: sumCfg,
+		}); err != nil {
+			return err
+		}
+		defer up.Close()
+	}
+
 	s, err := daemon.NewSupervisor(specs, daemon.SupervisorOptions{
 		ProcName:   "syndogd",
 		Log:        os.Stderr,
 		Speed:      *speed,
 		ConfigPath: *configPath,
+		Summary:    sumCfg,
+		Uplink:     up,
+		Pprof:      *pprofOn,
 	})
 	if err != nil {
 		return err

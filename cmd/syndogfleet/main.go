@@ -25,6 +25,13 @@
 // stub03.json with matching -t0/-a/-N, plus -track-sources -key-bits 8
 // -max-sources 64 to carry the keyed half). With -trials > 1 each
 // trial writes into its own trialN/ subdirectory.
+//
+// -uplink turns every stub into a fusion monitor: each pipeline gains
+// a summary tap (monitor "stubNN") whose per-period summaries —
+// censored by -uplink-censor/-uplink-topk — stream to a syndogfusion
+// coordinator over one shared batched uplink, so a dispersed flood too
+// small for any single stub's detector can still be caught by the
+// coordinator's rank fusion.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 	"repro/internal/tcp"
 )
 
@@ -75,6 +83,8 @@ type campaignConfig struct {
 	benign          float64
 	seed            int64
 	snapshotDir     string
+	uplink          string
+	uplinkCfg       summary.Config
 }
 
 func run(args []string) error {
@@ -91,6 +101,9 @@ func run(args []string) error {
 		trials    = fs.Int("trials", 1, "independent campaigns to run (trial i uses seed+i)")
 		parallel  = fs.Int("parallel", 0, "worker count for -trials > 1 (0 = one per CPU)")
 		snapDir   = fs.String("snapshot-dir", "", "write each stub agent's final snapshot into this directory")
+		uplink    = fs.String("uplink", "", "fusion coordinator base URL; every stub uplinks censored period summaries")
+		upCensor  = fs.Float64("uplink-censor", 0, "censoring threshold λ for uplinked summaries (0 = no censoring)")
+		upTopK    = fs.Int("uplink-topk", 0, "source digests per uplinked summary (0 = default 8, negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,10 +117,14 @@ func run(args []string) error {
 	if *trials < 1 {
 		return fmt.Errorf("trials must be positive")
 	}
+	if *uplink != "" && *trials > 1 {
+		return fmt.Errorf("-uplink serves one campaign; parallel trials would interleave the same monitor names")
+	}
 	cfg := campaignConfig{
 		stubs: *stubs, flooders: *flooders, totalRate: *totalRate,
 		duration: *duration, onset: *onset, t0: *t0,
 		benign: *benign, seed: *seed, snapshotDir: *snapDir,
+		uplink: *uplink, uplinkCfg: summary.Config{Censor: *upCensor, TopK: *upTopK},
 	}
 	if *trials == 1 {
 		return runCampaign(cfg, os.Stdout)
@@ -183,6 +200,20 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 	// use, with the simulator as the packet source instead of a file.
 	horizon := cfg.onset + cfg.duration + time.Minute
 	perStub := cfg.totalRate / float64(cfg.flooders)
+
+	// With -uplink the whole fleet shares one bounded uplink client:
+	// each stub's pipeline gains a summary tap ("stubNN" as the monitor
+	// name) feeding the fusion coordinator, and a slow coordinator sheds
+	// summaries rather than stalling the simulation.
+	var up *summary.Uplink
+	if cfg.uplink != "" {
+		var err error
+		if up, err = summary.NewUplink(summary.UplinkConfig{
+			URL: cfg.uplink, Summary: cfg.uplinkCfg,
+		}); err != nil {
+			return err
+		}
+	}
 	master := flood.NewMaster()
 	reports := make([]*stubReport, cfg.stubs)
 	sources := make([]*ingest.ChanSource, cfg.stubs)
@@ -237,6 +268,15 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 			T0:       cfg.t0,
 			Span:     horizon,
 			Tap:      feeders[i],
+		}
+		if up != nil {
+			st := summary.NewTap(&summary.Summarizer{
+				Monitor: fmt.Sprintf("stub%02d", i),
+				Cfg:     cfg.uplinkCfg,
+				Tracker: sr.tracker,
+			}, feeders[i], up.Send)
+			p.Sink = st.Sink
+			p.Tap = st
 		}
 		wg.Add(1)
 		go func(i int) {
@@ -305,6 +345,13 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 	wg.Wait()
 	for _, f := range feeders {
 		f.Close()
+	}
+	if up != nil {
+		// Flush the trailing summaries so the coordinator holds the
+		// complete campaign before the report prints its counters.
+		up.Close()
+		fmt.Fprintf(w, "uplink: %d summaries sent, %d dropped, %d failed\n\n",
+			up.Sent(), up.Dropped(), up.Failures())
 	}
 	for i, err := range pipeErrs {
 		if err != nil {

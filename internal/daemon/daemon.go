@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 	"repro/internal/trace"
 )
 
@@ -66,6 +67,19 @@ type Options struct {
 	// keyed snapshot alongside the agent's. Its period clock must
 	// match the detector's resume offset (NewStream validates).
 	Tracker *sourcetrack.Tracker
+	// Monitor names this daemon in its exported summaries — the
+	// identity a fusion coordinator sees (default Name). The
+	// supervisor passes each agent's spec name.
+	Monitor string
+	// Summary shapes the exported form of the summary stream: the
+	// censoring threshold λ and the top-K digest budget. It applies to
+	// /summaries and the uplink; the locally-stored summaries (and so
+	// /reports, /status, /metrics) always keep full fidelity.
+	Summary summary.Config
+	// Uplink, when non-nil, receives every closed period's summary —
+	// the push half of distributed fusion. The uplink is shared
+	// process-wide and never owned by the daemon; callers close it.
+	Uplink *summary.Uplink
 }
 
 func (o *Options) applyDefaults() {
@@ -74,6 +88,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Log == nil {
 		o.Log = os.Stderr
+	}
+	if o.Monitor == "" {
+		o.Monitor = o.Name
 	}
 }
 
@@ -98,6 +115,17 @@ type Daemon struct {
 	skipped      int // records skipped: their period predates the resume point
 	done         bool
 	replayErr    error
+
+	// summaries is the per-period summary store — the single code path
+	// every per-period consumer (/reports, /status, /metrics,
+	// /summaries, the uplink) reads. Resumed history is backfilled at
+	// construction (digest-free: per-period tracker views no longer
+	// exist); live periods append through the summarizer tap.
+	summarizer *summary.Summarizer
+	summaries  []summary.PeriodSummary
+
+	periodLatency     latencyHist // agg.ClosePeriod wall time per period
+	checkpointLatency latencyHist // SaveState wall time per checkpoint attempt
 
 	checkpoints        int
 	lastCheckpoint     time.Time
@@ -170,7 +198,24 @@ func NewStream(det ingest.Detector, src ingest.Source, info ingest.Info, t0 time
 	if ad, ok := det.(*ingest.AgentDetector); ok {
 		d.agent = ad.Agent()
 	}
+	d.summarizer = &summary.Summarizer{
+		Monitor: opts.Monitor,
+		Cfg:     opts.Summary,
+		Tracker: opts.Tracker,
+	}
+	d.summaries = d.summarizer.Backfill(det.Reports())
 	return d, nil
+}
+
+// emitSummary appends one closed period's summary to the store and
+// pushes it up the uplink. It runs inside the aggregator's period
+// close, which the replay loop always executes under d.mu — no
+// re-locking here (and Uplink.Send never blocks).
+func (d *Daemon) emitSummary(ps summary.PeriodSummary) {
+	d.summaries = append(d.summaries, ps)
+	if d.opts.Uplink != nil {
+		d.opts.Uplink.Send(ps)
+	}
 }
 
 // Close releases the daemon's source. The supervisor (and any caller
@@ -212,13 +257,21 @@ func (d *Daemon) Replay(ctx context.Context, speed float64) error {
 }
 
 func (d *Daemon) replay(ctx context.Context, speed float64) error {
-	agg, err := ingest.NewAggregator(d.t0, d.span, d.det, nil)
+	// The summarizer tap is the single emission path for closed
+	// periods: it folds the tracker (when present), builds the period's
+	// summary from the detector's report, and hands it to emitSummary —
+	// which appends to the store and feeds the uplink. The aggregator's
+	// sink captures the report for the period being closed.
+	var inner summary.RecordTap
+	if d.opts.Tracker != nil {
+		inner = d.opts.Tracker
+	}
+	tap := summary.NewTap(d.summarizer, inner, d.emitSummary)
+	agg, err := ingest.NewAggregator(d.t0, d.span, d.det, tap.Sink)
 	if err != nil {
 		return err
 	}
-	if d.opts.Tracker != nil {
-		agg.SetTap(d.opts.Tracker)
-	}
+	agg.SetTap(tap)
 
 	// Chunked lookahead over the source: records land in an arena chunk
 	// and buf[pos:n] is the unconsumed window. The paced loop cuts each
@@ -348,7 +401,9 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 			d.mu.Unlock()
 		}
 		d.mu.Lock()
+		closeStart := time.Now()
 		agg.ClosePeriod()
+		d.periodLatency.observe(time.Since(closeStart).Seconds())
 		d.mu.Unlock()
 	}
 	return nil

@@ -212,14 +212,35 @@ func TestReportsEndpoint(t *testing.T) {
 	}
 }
 
+// normalizeLatency rewrites the wall-clock-dependent halves of the
+// latency histogram families — per-bucket counts and the running sum —
+// to a fixed placeholder. The line set, family names, bounds and the
+// deterministic _count totals stay pinned; only the timing-dependent
+// values are masked.
+var latencyValue = regexp.MustCompile(`^(syndog_\w+_seconds(?:_bucket\{[^}]*\}|_sum)) \S+$`)
+
+func normalizeLatency(body string) string {
+	lines := strings.Split(body, "\n")
+	for i, ln := range lines {
+		if m := latencyValue.FindStringSubmatch(ln); m != nil {
+			lines[i] = m[1] + " X"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
 // TestMetricsGolden pins the exposition format: names, TYPE lines and
-// values for a deterministic flooded replay. Regenerate with -update.
+// values for a deterministic flooded replay. Histogram bucket/sum
+// values are wall-clock noise and are normalized away; everything else
+// — including the histograms' _count lines — is byte-pinned.
+// Regenerate with -update.
 func TestMetricsGolden(t *testing.T) {
 	d := newTestDaemon(t, true, Options{})
 	if err := d.Replay(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	_, body := get(t, d, "/metrics")
+	body = normalizeLatency(body)
 
 	golden := filepath.Join("testdata", "metrics.golden")
 	if *update {

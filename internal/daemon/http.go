@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 )
 
 // Status is the /status payload. Field names are part of the daemon's
@@ -45,16 +46,23 @@ type Status struct {
 	CheckpointFailures  int           `json:"checkpointFailures"`
 	LastCheckpointError string        `json:"lastCheckpointError,omitempty"`
 	T0                  time.Duration `json:"t0Nanos"`
+
+	// PeriodLatency and CheckpointLatency are histogram snapshots
+	// backing the /metrics latency families. They ride on Status so the
+	// metrics renderers stay pure functions of one consistent state
+	// capture, but they are deliberately not part of the /status JSON
+	// contract.
+	PeriodLatency     LatencySnapshot `json:"-"`
+	CheckpointLatency LatencySnapshot `json:"-"`
 }
 
 // Status returns a consistent snapshot of the daemon's state.
 func (d *Daemon) Status() Status {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	reports := d.det.Reports()
 	s := Status{
 		Trace:              d.srcName,
-		Periods:            len(reports),
+		Periods:            len(d.summaries),
 		TotalPeriods:       d.totalPeriods,
 		ResumeOffset:       d.resumeOffset,
 		RecordsProcessed:   d.records,
@@ -65,6 +73,8 @@ func (d *Daemon) Status() Status {
 		Checkpoints:        d.checkpoints,
 		CheckpointFailures: d.checkpointFailures,
 		T0:                 d.t0,
+		PeriodLatency:      d.periodLatency.snapshot(),
+		CheckpointLatency:  d.checkpointLatency.snapshot(),
 	}
 	if dc, ok := d.src.(ingest.DropCounter); ok {
 		s.RecordsDropped = dc.Dropped()
@@ -75,8 +85,8 @@ func (d *Daemon) Status() Status {
 	if d.replayErr != nil {
 		s.ReplayError = d.replayErr.Error()
 	}
-	if len(reports) > 0 {
-		last := reports[len(reports)-1]
+	if n := len(d.summaries); n > 0 {
+		last := d.summaries[n-1]
 		s.Statistic = last.Y
 		s.LastOutSYN = last.OutSYN
 		s.LastInSYNACK = last.InSYNACK
@@ -155,11 +165,38 @@ func (d *Daemon) Sources(n, offset int) SourcesPayload {
 	return p
 }
 
-// Reports returns a copy of the detector's period reports.
+// Reports returns the per-period reports, reconstructed from the
+// summary store. Summaries censor only on export, so the
+// reconstruction is exact: /reports is byte-identical to the
+// pre-summary-layer extraction straight off the detector.
 func (d *Daemon) Reports() []core.Report {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]core.Report(nil), d.det.Reports()...)
+	out := make([]core.Report, len(d.summaries))
+	for i, ps := range d.summaries {
+		out[i] = ps.Report()
+	}
+	return out
+}
+
+// Summaries returns the exported (wire-form) summaries for periods at
+// or after from: the same objects the uplink pushes, censored and
+// digest-trimmed per Options.Summary. A fusion coordinator polling
+// instead of being pushed to reads this endpoint.
+func (d *Daemon) Summaries(from int) []summary.PeriodSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(d.summaries) {
+		from = len(d.summaries)
+	}
+	out := make([]summary.PeriodSummary, 0, len(d.summaries)-from)
+	for _, ps := range d.summaries[from:] {
+		out = append(out, ps.Censor(d.opts.Summary))
+	}
+	return out
 }
 
 // Handler builds the daemon's HTTP mux:
@@ -167,6 +204,8 @@ func (d *Daemon) Reports() []core.Report {
 //	GET /healthz  -> 200 "ok", or 503 with the replay error
 //	GET /status   -> JSON Status
 //	GET /reports  -> JSON array of per-period reports
+//	GET /summaries -> JSON array of exported (censored) summaries;
+//	                 ?from= first period index, default 0
 //	GET /sources  -> JSON SourcesPayload (ranked keys; ?n= page size,
 //	                 default 20, 0 = headers only; ?offset= page start;
 //	                 negatives clamp to 0)
@@ -187,6 +226,22 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(d.Reports())
+	})
+	mux.HandleFunc("GET /summaries", func(w http.ResponseWriter, r *http.Request) {
+		// ?from= is the first period index wanted (default 0); the
+		// response is the censored wire form, exactly what the uplink
+		// would have pushed.
+		from := 0
+		if q := r.URL.Query().Get("from"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil {
+				http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			from = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.Summaries(from))
 	})
 	mux.HandleFunc("GET /sources", func(w http.ResponseWriter, r *http.Request) {
 		// ?n= is the page size (default 20; 0 means "no rows, headers
@@ -288,13 +343,36 @@ var metricDefs = []metricDef{
 		func(s Status) bool { return s.Checkpoints > 0 }},
 }
 
-// writeMetrics renders the single-agent exposition.
+// histogramDef is one latency-histogram family, table-driven like
+// metricDefs: the family name, its HELP text, and how to pull its
+// snapshot off a Status. Families render after every scalar metric so
+// the scalar exposition stays byte-identical to the pre-histogram
+// contract.
+type histogramDef struct {
+	name, help string
+	snap       func(Status) LatencySnapshot
+}
+
+var histogramDefs = []histogramDef{
+	{"syndog_period_processing_seconds",
+		"Wall time to close one observation period (detector fold, keyed tracker fold, summary emission).",
+		func(s Status) LatencySnapshot { return s.PeriodLatency }},
+	{"syndog_checkpoint_write_seconds",
+		"Wall time to persist one checkpoint snapshot (serialize, fsync, rename).",
+		func(s Status) LatencySnapshot { return s.CheckpointLatency }},
+}
+
+// writeMetrics renders the single-agent exposition: the scalar table,
+// then the latency histogram families.
 func writeMetrics(w http.ResponseWriter, s Status) {
 	for _, m := range metricDefs {
 		if m.present != nil && !m.present(s) {
 			continue
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", m.name, m.typ, m.name, m.value(s))
+	}
+	for _, h := range histogramDefs {
+		writeHistogram(w, h.name, h.help, "", h.snap(s))
 	}
 }
 
@@ -322,6 +400,12 @@ func writeMetricsLabeled(w http.ResponseWriter, agents []agentStatus) {
 				wrote = true
 			}
 			fmt.Fprintf(w, "%s{agent=%q} %s\n", m.name, a.Name, m.value(a.Status))
+		}
+	}
+	for _, h := range histogramDefs {
+		writeHistogramHeader(w, h.name, h.help)
+		for _, a := range agents {
+			writeHistogramSamples(w, h.name, fmt.Sprintf("agent=%q", a.Name), h.snap(a.Status))
 		}
 	}
 }

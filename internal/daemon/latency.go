@@ -1,0 +1,96 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+)
+
+// latencyBounds are the shared upper bounds (seconds) of the daemon's
+// latency histograms. Period closes and checkpoint writes both live in
+// the 10µs–100ms range on healthy hosts, so a decade ladder from 10µs
+// to 1s separates "fine" from "disk is unhappy" without per-metric
+// tuning.
+var latencyBounds = [...]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// latencyHist is a fixed-bound latency histogram in the Prometheus
+// exposition shape: per-bound bin counts plus a running sum and count.
+// It is not internally synchronized — the daemon mutates it under d.mu
+// like the rest of its replay state.
+type latencyHist struct {
+	bins  [len(latencyBounds)]uint64
+	over  uint64 // observations beyond the last bound (+Inf bin)
+	count uint64
+	sum   float64
+}
+
+// observe records one latency in seconds.
+func (h *latencyHist) observe(seconds float64) {
+	h.count++
+	h.sum += seconds
+	for i, b := range latencyBounds {
+		if seconds <= b {
+			h.bins[i]++
+			return
+		}
+	}
+	h.over++
+}
+
+// snapshot copies the histogram for lock-free rendering.
+func (h *latencyHist) snapshot() LatencySnapshot {
+	s := LatencySnapshot{Count: h.count, Sum: h.sum}
+	copy(s.Bins[:], h.bins[:])
+	s.Over = h.over
+	return s
+}
+
+// LatencySnapshot is a point-in-time copy of a latency histogram,
+// carried on Status for the metrics renderer. It is deliberately kept
+// out of the /status JSON contract.
+type LatencySnapshot struct {
+	Bins  [len(latencyBounds)]uint64
+	Over  uint64
+	Count uint64
+	Sum   float64
+}
+
+// writeHistogram renders one histogram family in Prometheus exposition
+// format: cumulative le-labelled buckets, then _sum and _count. labels
+// is rendered inside the brace set alongside le (empty for the
+// single-agent plane).
+func writeHistogram(w io.Writer, name, help string, extraLabel string, s LatencySnapshot) {
+	writeHistogramHeader(w, name, help)
+	writeHistogramSamples(w, name, extraLabel, s)
+}
+
+// writeHistogramHeader emits the family's HELP/TYPE pair — exactly
+// once per family, even when the labeled exposition renders one sample
+// set per agent.
+func writeHistogramHeader(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+}
+
+// writeHistogramSamples emits one snapshot's bucket/sum/count lines.
+func writeHistogramSamples(w io.Writer, name, extraLabel string, s LatencySnapshot) {
+	sep, plain := "", ""
+	if extraLabel != "" {
+		sep = extraLabel + ","
+		plain = "{" + extraLabel + "}"
+	}
+	var cum uint64
+	for i, b := range latencyBounds {
+		cum += s.Bins[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, trimFloat(b), cum)
+	}
+	cum += s.Over
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, cum)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, plain, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, plain, s.Count)
+}
+
+// trimFloat renders a bound the way Prometheus clients conventionally
+// do (1e-05 → "1e-05", 1 → "1").
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -252,8 +252,11 @@ func (d *Daemon) Checkpoint() error {
 	if d.opts.StatePath == "" {
 		return nil
 	}
+	writeStart := time.Now()
 	err := d.SaveState(d.opts.StatePath)
+	elapsed := time.Since(writeStart).Seconds()
 	d.mu.Lock()
+	d.checkpointLatency.observe(elapsed)
 	if err != nil {
 		d.checkpointFailures++
 		d.lastCheckpointErr = err

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 	"repro/internal/trace"
 )
 
@@ -294,19 +295,48 @@ func LoadSpecs(path string) ([]AgentSpec, error) {
 	return ParseSpecs(data)
 }
 
+// BuildEnv is the process-level environment agents are built into:
+// log routing plus the shared summary-export shape and the optional
+// fusion uplink. One env serves every agent of a supervisor; the env's
+// uplink is owned by the process, never by the daemons built into it.
+type BuildEnv struct {
+	// ProcName prefixes log lines ("syndogd").
+	ProcName string
+	// Log receives resume/migration notices (nil = discard).
+	Log io.Writer
+	// Summary shapes each agent's exported summaries (/summaries and
+	// the uplink); local stores always keep full fidelity.
+	Summary summary.Config
+	// Uplink, when non-nil, receives every agent's closed-period
+	// summaries, stamped with the agent's spec name as monitor.
+	Uplink *summary.Uplink
+}
+
 // BuildAgent constructs the daemon an AgentSpec describes: state is
 // loaded (or migrated/reset per the spec's policy), the detector and
 // tracker assembled, and the input opened as a streaming source. The
 // daemon owns the source; Close releases it. procName prefixes log
 // lines ("syndogd"); resume and migration notices go to logw in the
 // same format the single-agent daemon has always printed.
+//
+// BuildAgent is BuildAgentEnv without an uplink — the historical
+// signature, kept for callers that never export summaries.
 func BuildAgent(spec AgentSpec, procName string, logw io.Writer) (*Daemon, StateAction, error) {
+	return BuildAgentEnv(spec, BuildEnv{ProcName: procName, Log: logw})
+}
+
+// BuildAgentEnv is BuildAgent within an explicit process environment:
+// the built daemon exports summaries shaped by env.Summary and, when
+// env.Uplink is set, streams them to the fusion coordinator under the
+// spec's name.
+func BuildAgentEnv(spec AgentSpec, env BuildEnv) (*Daemon, StateAction, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, "", err
 	}
-	if logw == nil {
-		logw = io.Discard
+	if env.Log == nil {
+		env.Log = io.Discard
 	}
+	procName, logw := env.ProcName, env.Log
 
 	cfg := spec.coreConfig()
 	action := ActionFresh
@@ -342,7 +372,7 @@ func BuildAgent(spec AgentSpec, procName string, logw io.Writer) (*Daemon, State
 		}
 	}
 
-	d, err := assemble(spec, det, tracker, procName, logw)
+	d, err := assemble(spec, det, tracker, env)
 	if err != nil {
 		return nil, "", err
 	}
@@ -353,13 +383,16 @@ func BuildAgent(spec AgentSpec, procName string, logw io.Writer) (*Daemon, State
 // to an already-built detector/tracker pair — the half of BuildAgent
 // that touches the filesystem. The reload path calls it directly with
 // a detector rebuilt from captured in-memory state.
-func assemble(spec AgentSpec, det ingest.Detector, tracker *sourcetrack.Tracker, procName string, logw io.Writer) (*Daemon, error) {
+func assemble(spec AgentSpec, det ingest.Detector, tracker *sourcetrack.Tracker, env BuildEnv) (*Daemon, error) {
 	opts := Options{
-		Name:               procName,
-		Log:                logw,
+		Name:               env.ProcName,
+		Log:                env.Log,
 		StatePath:          spec.State,
 		CheckpointInterval: time.Duration(spec.Checkpoint),
 		Tracker:            tracker,
+		Monitor:            spec.Name,
+		Summary:            env.Summary,
+		Uplink:             env.Uplink,
 	}
 	effT0 := spec.coreConfig().Normalized().T0
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"slices"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
+	"repro/internal/summary"
 )
 
 // SupervisorOptions configures a Supervisor beyond its agent specs.
@@ -31,6 +33,20 @@ type SupervisorOptions struct {
 	// ConfigPath, when set, is re-read on an empty-body POST /reload
 	// (and by ReloadFromConfig, which cmd/syndogd wires to SIGHUP).
 	ConfigPath string
+	// Summary shapes every agent's exported summaries: the censoring
+	// threshold λ and digest budget applied to /summaries and the
+	// uplink. Local state (reports, metrics, snapshots) always keeps
+	// full fidelity.
+	Summary summary.Config
+	// Uplink, when non-nil, streams every agent's closed-period
+	// summaries to a fusion coordinator, each stamped with its spec
+	// name. The caller owns (and closes) the uplink; the supervisor
+	// only exposes its delivery counters on /metrics.
+	Uplink *summary.Uplink
+	// Pprof mounts net/http/pprof under /debug/pprof on the shared mux.
+	// Off by default: profiling endpoints are a diagnostic surface the
+	// operator must ask for.
+	Pprof bool
 }
 
 // managedAgent is one supervised daemon plus its lifecycle state. The
@@ -77,9 +93,26 @@ type Supervisor struct {
 
 	reloadMu sync.Mutex // serializes Reload; never held with mu
 
+	// reloads is the ring-buffered audit history served by GET
+	// /reloads: newest last, capped at reloadHistoryCap events.
+	reloads   []ReloadEvent
+	reloadSeq int // total reloads ever applied (ring positions survive eviction)
+
 	runCtx  context.Context // set by Run; agents started later inherit it
 	started bool
 	exitCh  chan struct{} // poked (cap 1) whenever an agent run exits
+}
+
+// env returns the build environment shared by every agent build and
+// rebuild: process naming/logging plus the summary-export shape and
+// the optional fusion uplink.
+func (s *Supervisor) env() BuildEnv {
+	return BuildEnv{
+		ProcName: s.opts.ProcName,
+		Log:      s.opts.Log,
+		Summary:  s.opts.Summary,
+		Uplink:   s.opts.Uplink,
+	}
 }
 
 // NewSupervisor validates specs and builds every agent — strictly: one
@@ -102,7 +135,7 @@ func NewSupervisor(specs []AgentSpec, opts SupervisorOptions) (*Supervisor, erro
 		exitCh: make(chan struct{}, 1),
 	}
 	for _, sp := range specs {
-		d, act, err := BuildAgent(sp, opts.ProcName, opts.Log)
+		d, act, err := BuildAgentEnv(sp, s.env())
 		if err != nil {
 			s.closeAll()
 			return nil, err
@@ -345,6 +378,61 @@ type ReloadResult struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// reloadHistoryCap bounds the /reloads audit ring. 64 reloads of
+// history costs a few kilobytes and covers weeks of operation; older
+// events age out, their positions preserved by Seq.
+const reloadHistoryCap = 64
+
+// ReloadEvent is one /reloads audit entry: when a reload was applied,
+// a compact summary of the spec diff it carried, and every agent's
+// outcome — the durable form of the per-reload log lines.
+type ReloadEvent struct {
+	// Seq numbers reloads from 1 across the process lifetime; it keeps
+	// counting after older events age out of the ring.
+	Seq int `json:"seq"`
+	// At is when the reload finished applying (UTC).
+	At time.Time `json:"at"`
+	// Diff summarizes the spec change by outcome, e.g.
+	// "2 unchanged, 1 updated, 1 started".
+	Diff string `json:"diff"`
+	// Results is every agent's outcome, in application order.
+	Results []ReloadResult `json:"results"`
+}
+
+// recordReload appends one audit entry to the ring.
+func (s *Supervisor) recordReload(results []ReloadResult) {
+	counts := make(map[string]int)
+	for _, r := range results {
+		counts[r.Action]++
+	}
+	var parts []string
+	for _, a := range []string{"unchanged", "updated", "migrated", "reset", "started", "stopped", "error"} {
+		if n := counts[a]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, a))
+		}
+	}
+	s.mu.Lock()
+	s.reloadSeq++
+	s.reloads = append(s.reloads, ReloadEvent{
+		Seq:     s.reloadSeq,
+		At:      time.Now().UTC(),
+		Diff:    strings.Join(parts, ", "),
+		Results: slices.Clone(results),
+	})
+	if len(s.reloads) > reloadHistoryCap {
+		s.reloads = slices.Clone(s.reloads[len(s.reloads)-reloadHistoryCap:])
+	}
+	s.mu.Unlock()
+}
+
+// ReloadHistory returns the retained reload audit events, oldest
+// first.
+func (s *Supervisor) ReloadHistory() []ReloadEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return slices.Clone(s.reloads)
+}
+
 // compatibleChange reports whether the old→new spec change can be
 // applied with the full detector state carried: same detector, same
 // observation period, and no keyed re-keying or tracking loss.
@@ -430,12 +518,13 @@ func (s *Supervisor) Reload(specs []AgentSpec) ([]ReloadResult, error) {
 		fmt.Fprintf(s.opts.Log, "%s: reload: agent %s: %s%s\n", s.opts.ProcName, r.Name, r.Action,
 			map[bool]string{true: " (" + r.Detail + ")", false: ""}[r.Detail != ""])
 	}
+	s.recordReload(results)
 	return results, nil
 }
 
 // reloadAdd starts a brand-new agent from sp.
 func (s *Supervisor) reloadAdd(sp AgentSpec) ReloadResult {
-	d, act, err := BuildAgent(sp, s.opts.ProcName, s.opts.Log)
+	d, act, err := BuildAgentEnv(sp, s.env())
 	if err != nil {
 		return ReloadResult{Name: sp.Name, Action: "error", Detail: err.Error()}
 	}
@@ -524,7 +613,7 @@ func (s *Supervisor) rebuild(sp AgentSpec, st *State, compatible bool) (*Daemon,
 		if err != nil {
 			return nil, err
 		}
-		return assemble(sp, ingest.WrapAgent(agent), tracker, s.opts.ProcName, s.opts.Log)
+		return assemble(sp, ingest.WrapAgent(agent), tracker, s.env())
 	}
 	var det ingest.Detector
 	var tracker *sourcetrack.Tracker
@@ -545,7 +634,7 @@ func (s *Supervisor) rebuild(sp AgentSpec, st *State, compatible bool) (*Daemon,
 			return nil, err
 		}
 	}
-	return assemble(sp, det, tracker, s.opts.ProcName, s.opts.Log)
+	return assemble(sp, det, tracker, s.env())
 }
 
 // revive restarts ma under its old spec after a failed rebuild.
@@ -557,9 +646,9 @@ func (s *Supervisor) revive(ma *managedAgent, st *State) error {
 		if rerr != nil {
 			return rerr
 		}
-		d, err = assemble(ma.spec, ingest.WrapAgent(a), tr, s.opts.ProcName, s.opts.Log)
+		d, err = assemble(ma.spec, ingest.WrapAgent(a), tr, s.env())
 	} else {
-		d, _, err = BuildAgent(ma.spec, s.opts.ProcName, s.opts.Log)
+		d, _, err = BuildAgentEnv(ma.spec, s.env())
 	}
 	if err != nil {
 		s.mu.Lock()
@@ -651,10 +740,12 @@ func (s *Supervisor) summaries() []AgentSummary {
 //	                                 multiple: {"agents": {name: Status}}
 //	GET  /metrics                 -> single agent: unchanged exposition;
 //	                                 multiple: {agent="name"}-labeled samples
-//	GET  /reports, /sources       -> single agent only (404 otherwise)
+//	GET  /reports, /summaries, /sources -> single agent only (404 otherwise)
 //	POST /reload                  -> apply specs (JSON body, or re-read -config
 //	                                 on an empty body); JSON results
+//	GET  /reloads                 -> ring-buffered reload audit history
 //	GET  /debug/bundle            -> tar.gz diagnostic bundle
+//	GET  /debug/pprof/...         -> net/http/pprof (only with Pprof set)
 func (s *Supervisor) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /agents", func(w http.ResponseWriter, _ *http.Request) {
@@ -715,13 +806,24 @@ func (s *Supervisor) Handler() http.Handler {
 		agents := s.refs()
 		if len(agents) == 1 {
 			writeMetrics(w, agents[0].d.Status())
-			return
+		} else {
+			sts := make([]agentStatus, len(agents))
+			for i, a := range agents {
+				sts[i] = agentStatus{Name: a.name, Status: a.d.Status()}
+			}
+			writeMetricsLabeled(w, sts)
 		}
-		sts := make([]agentStatus, len(agents))
-		for i, a := range agents {
-			sts[i] = agentStatus{Name: a.name, Status: a.d.Status()}
+		// Process-wide uplink delivery counters, only when an uplink is
+		// configured — the default exposition stays byte-identical.
+		if u := s.opts.Uplink; u != nil {
+			fmt.Fprintf(w, "# TYPE syndog_uplink_sent_total counter\nsyndog_uplink_sent_total %d\n", u.Sent())
+			fmt.Fprintf(w, "# TYPE syndog_uplink_dropped_total counter\nsyndog_uplink_dropped_total %d\n", u.Dropped())
+			fmt.Fprintf(w, "# TYPE syndog_uplink_failures_total counter\nsyndog_uplink_failures_total %d\n", u.Failures())
 		}
-		writeMetricsLabeled(w, sts)
+	})
+	mux.HandleFunc("GET /reloads", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.ReloadHistory())
 	})
 	single := func(w http.ResponseWriter, r *http.Request, rest string) {
 		agents := s.refs()
@@ -733,6 +835,9 @@ func (s *Supervisor) Handler() http.Handler {
 	}
 	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, r *http.Request) {
 		single(w, r, "reports")
+	})
+	mux.HandleFunc("GET /summaries", func(w http.ResponseWriter, r *http.Request) {
+		single(w, r, "summaries")
 	})
 	mux.HandleFunc("GET /sources", func(w http.ResponseWriter, r *http.Request) {
 		single(w, r, "sources")
@@ -768,5 +873,14 @@ func (s *Supervisor) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/bundle", func(w http.ResponseWriter, r *http.Request) {
 		s.serveBundle(w, r)
 	})
+	if s.opts.Pprof {
+		// Profiling endpoints are opt-in (-pprof): a diagnostic surface
+		// the operator must ask for, never on by default.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

@@ -221,9 +221,12 @@ func TestSupervisorTwoAgents(t *testing.T) {
 		t.Fatalf("duplicated TYPE header:\n%s", body)
 	}
 
-	// Root reports/sources are single-agent conveniences.
+	// Root reports/summaries/sources are single-agent conveniences.
 	if code, _ := httpGet(t, base+"/reports"); code != http.StatusNotFound {
 		t.Fatalf("root /reports with two agents: %d", code)
+	}
+	if code, _ := httpGet(t, base+"/summaries"); code != http.StatusNotFound {
+		t.Fatalf("root /summaries with two agents: %d", code)
 	}
 	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("healthz: %d %s", code, body)
@@ -264,9 +267,12 @@ func TestSupervisorSingleAgentBackCompat(t *testing.T) {
 	if !strings.Contains(body, "syndog_periods_total 30\n") || strings.Contains(body, "{agent=") {
 		t.Fatalf("single metrics:\n%s", body)
 	}
-	// Root reports and sources still serve.
+	// Root reports, summaries and sources still serve.
 	if code, body := httpGet(t, base+"/reports"); code != http.StatusOK || !strings.HasPrefix(body, "[") {
 		t.Fatalf("reports: %d %s", code, body)
+	}
+	if code, body := httpGet(t, base+"/summaries"); code != http.StatusOK || !strings.Contains(body, `"monitor":"only"`) {
+		t.Fatalf("summaries: %d %s", code, body)
 	}
 	if code, _ := httpGet(t, base+"/sources"); code != http.StatusOK {
 		t.Fatalf("sources: %d", code)

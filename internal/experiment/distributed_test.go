@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDistributedAcceptance pins the headline claim of the fusion
+// layer: a flood split across all four sites at half each site's local
+// floor raises no local alarm anywhere, yet the coordinator detects it
+// within a bounded delay and localizes only genuinely flooded monitors.
+func TestDistributedAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays four site traces per cell")
+	}
+	arts, err := AblationDistributed(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := arts[0].(*Table)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (M=1..4)", len(tbl.Rows))
+	}
+	sites := map[string]bool{"LBL": true, "Harvard": true, "UNC": true, "Auckland": true}
+	for _, row := range tbl.Rows {
+		if row[2] != "0" {
+			t.Errorf("M=%s: %s local alarms, want 0 — per-site rates must stay under fmin", row[0], row[2])
+		}
+		if row[3] == "FALSE ALARM" {
+			t.Errorf("M=%s: fused alarm before flood onset", row[0])
+		}
+	}
+
+	// The M=4 row is the acceptance row: detected, fast, and localized
+	// to a subset of the flooded monitors (no false accusations).
+	m4 := tbl.Rows[3]
+	if m4[3] != "yes" {
+		t.Fatalf("M=4 fusion detects = %q, want yes", m4[3])
+	}
+	delay, err := strconv.Atoi(m4[4])
+	if err != nil || delay > 10 {
+		t.Errorf("M=4 delay = %q periods, want <= 10", m4[4])
+	}
+	mons := strings.Split(m4[5], ", ")
+	if len(mons) < 2 {
+		t.Errorf("M=4 localized %q, want at least two monitors", m4[5])
+	}
+	for _, mon := range mons {
+		if !sites[mon] {
+			t.Errorf("M=4 localized unknown monitor %q", mon)
+		}
+	}
+	truth := strings.SplitN(m4[6], "/", 2)
+	if n, err := strconv.Atoi(truth[0]); err != nil || n < 2 {
+		t.Errorf("M=4 truth prefixes found = %q, want >= 2 of 4", m4[6])
+	}
+}

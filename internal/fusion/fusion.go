@@ -1,0 +1,608 @@
+// Package fusion is the multi-vantage half of distributed SYN-flood
+// detection: a coordinator that ingests bandwidth-capped streams of
+// summary.PeriodSummary from N independent SYN-dog monitors and runs a
+// rank-based change-point rule over their censored local statistics.
+//
+// The design reproduces the censored-fusion construction of
+// Lévy-Leduc & Roueff (2009) and Lung-Yut-Fong, Lévy-Leduc & Cappé
+// (2011) on top of this repo's per-site CUSUM agents:
+//
+//   - Each monitor ships its per-period normalized observation Xn,
+//     censored below a local threshold λ (the uplink zeroes Xn/yn and
+//     drops digests; only cheap volume counters survive).
+//   - The coordinator rank-normalizes each monitor against its own
+//     history: the midrank quantile of the current value among the
+//     monitor's recent values puts heterogeneous sites (a university
+//     trace and a backbone trace) on one [0,1] scale without any
+//     cross-site calibration. Censored values form one tied class
+//     below every uncensored value.
+//   - The fused statistic is the mean of the monitors' centered
+//     quantiles, 2(q−1/2) ∈ [−1,1], fed to a standard one-sided CUSUM.
+//     Under H0 each quantile is ≈ uniform and the mean hovers near 0;
+//     a flood split across sites lifts many quantiles toward 1 at
+//     once, which accumulates even when every site is individually
+//     below its own fmin.
+//   - Liveness beats completeness: a monitor whose frontier lags the
+//     fleet by more than the staleness window is excluded (its gaps
+//     fuse as censored placeholders), and fusion proceeds whenever a
+//     quorum of monitors has reported a period. Duplicate and
+//     out-of-order deliveries are idempotent — the first copy of a
+//     (monitor, period) wins.
+package fusion
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cusum"
+	"repro/internal/summary"
+)
+
+// Defaults. Offset/Threshold are tuned for the centered-quantile scale
+// (mean of 2(q−1/2) terms): under H0 the fused statistic is
+// mean-zero with standard deviation ≈ 1/√(3M), so an offset of 0.3
+// absorbs noise for any M ≥ 2 while a coordinated shift — every
+// quantile pushed toward 1 — drifts at ≈ 1−q̄, crossing 0.9 within a
+// few periods.
+const (
+	DefaultHistory        = 64
+	DefaultMinHistory     = 4
+	DefaultStaleAfter     = 3
+	DefaultOffset         = 0.3
+	DefaultThreshold      = 0.9
+	DefaultLocalizeWindow = 5
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Expect is how many monitors the deployment runs. Fusion holds
+	// until that many have registered (first delivery), so the first
+	// periods are not fused against a half-assembled fleet, and the
+	// default quorum is a majority of Expect rather than of whoever
+	// showed up first. 0 = fuse as soon as anyone reports.
+	Expect int
+	// Quorum is the minimum number of monitors that must have reported
+	// (or be confidently gap-filled) for a period to fuse. 0 defaults
+	// to a majority of max(Expect, registered monitors), re-evaluated
+	// as monitors appear.
+	Quorum int
+	// StaleAfter is the staleness window in periods: a monitor whose
+	// newest period lags the most advanced monitor by more than this
+	// is excluded from fusion (and from the quorum denominator) until
+	// it catches up. 0 = DefaultStaleAfter.
+	StaleAfter int
+	// History bounds each monitor's quantile-normalization window
+	// (0 = DefaultHistory).
+	History int
+	// MinHistory is how many observations a monitor needs before its
+	// quantiles are trusted; until then it contributes the neutral
+	// q = 1/2. 0 = DefaultMinHistory.
+	MinHistory int
+	// Offset and Threshold parameterize the fused CUSUM on the
+	// centered-quantile scale (0 = the package defaults).
+	Offset, Threshold float64
+	// LocalizeWindow is how many recent fused periods the localization
+	// averages when ranking monitors (0 = DefaultLocalizeWindow).
+	LocalizeWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = DefaultStaleAfter
+	}
+	if c.History <= 0 {
+		c.History = DefaultHistory
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = DefaultMinHistory
+	}
+	if c.Offset == 0 {
+		c.Offset = DefaultOffset
+	}
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.LocalizeWindow <= 0 {
+		c.LocalizeWindow = DefaultLocalizeWindow
+	}
+	return c
+}
+
+// obs is one monitor-period observation as fusion saw it.
+type obs struct {
+	x        float64
+	censored bool
+	gap      bool // synthesized: the period never arrived before fusion
+}
+
+// monitor is the coordinator's per-monitor state.
+type monitor struct {
+	name string
+
+	// pending holds delivered-but-unfused summaries keyed by period
+	// index; the first delivery of a period wins (idempotence).
+	pending map[int]summary.PeriodSummary
+	// latest is the newest period index ever delivered, -1 before the
+	// first.
+	latest int
+
+	// history is the sliding rank window of fused observations,
+	// oldest first.
+	history []obs
+
+	// contrib is the monitor's recent centered-quantile contributions,
+	// aligned with the coordinator's fused periods (localization
+	// window); gaps and stale exclusions append 0.
+	contrib []float64
+
+	// lastSources is the most recent non-empty digest list, kept for
+	// localization after the flood's own periods censor or age out.
+	lastSources []summary.SourceDigest
+
+	received   uint64 // summaries accepted
+	duplicates uint64 // summaries ignored as duplicate/already-fused
+	gaps       uint64 // periods fused as synthesized gaps
+}
+
+// quantile returns the midrank quantile of o within m's history. A
+// censored observation ties with the censored class and sits below
+// every uncensored value; an uncensored value sits above the whole
+// censored class. With fewer than MinHistory observations (or an
+// all-censored history for a censored current) the result is the
+// neutral 1/2.
+func (m *monitor) quantile(o obs, minHistory int) float64 {
+	n := len(m.history)
+	if n < minHistory {
+		return 0.5
+	}
+	below, ties := 0, 0
+	for _, h := range m.history {
+		switch {
+		case o.censored || o.gap:
+			// Current is in the censored class: ties with censored
+			// history, below all uncensored history.
+			if h.censored || h.gap {
+				ties++
+			}
+		case h.censored || h.gap:
+			below++
+		case h.x < o.x:
+			below++
+		case h.x == o.x:
+			ties++
+		}
+	}
+	if (o.censored || o.gap) && ties == n {
+		// Everything in sight is censored: no rank information at all.
+		return 0.5
+	}
+	return (float64(below) + 0.5*float64(ties+1)) / float64(n+1)
+}
+
+func (m *monitor) push(o obs, cap int) {
+	m.history = append(m.history, o)
+	if len(m.history) > cap {
+		m.history = m.history[len(m.history)-cap:]
+	}
+}
+
+// MonitorStatus is one monitor's row in /monitors.
+type MonitorStatus struct {
+	Name       string `json:"name"`
+	Latest     int    `json:"latest"`
+	Pending    int    `json:"pending"`
+	Stale      bool   `json:"stale"`
+	Received   uint64 `json:"received"`
+	Duplicates uint64 `json:"duplicates"`
+	Gaps       uint64 `json:"gaps"`
+}
+
+// FusedPeriod is one fused observation: the period index, the fused
+// statistic before and after the CUSUM fold, and which monitors
+// participated.
+type FusedPeriod struct {
+	Index int `json:"period"`
+	// X is the fused observation: the mean centered quantile of the
+	// participating monitors.
+	X float64 `json:"x"`
+	// Y is the fused CUSUM statistic after folding X.
+	Y       float64 `json:"yn"`
+	Alarmed bool    `json:"alarmed"`
+	// Participants counts monitors that contributed a real (delivered)
+	// summary; Gaps counts synthesized censored placeholders; Stale
+	// counts monitors excluded by the staleness window.
+	Participants int `json:"participants"`
+	Gaps         int `json:"gaps,omitempty"`
+	Stale        int `json:"stale,omitempty"`
+}
+
+// Localization names the monitors and source prefixes carrying an
+// attack.
+type Localization struct {
+	// Monitors are the implicated monitor names, strongest evidence
+	// first.
+	Monitors []string `json:"monitors"`
+	// Prefixes are the implicated source prefixes (from the monitors'
+	// top-K digests), strongest first, deduplicated.
+	Prefixes []string `json:"prefixes"`
+}
+
+// Coordinator fuses summary streams from N monitors. It is fully
+// synchronized: Ingest and the HTTP handlers may run concurrently.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	monitors map[string]*monitor
+	order    []string // registration order: deterministic fusion
+	frontier int      // next period index to fuse
+	det      *cusum.Detector
+	fused    []FusedPeriod
+
+	alarm    *FusedPeriod  // first alarmed fused period
+	alarmLoc *Localization // localization captured as the alarm latched
+}
+
+// NewCoordinator builds a coordinator; monitors register themselves on
+// first delivery.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	det, err := cusum.New(cfg.Offset, cfg.Threshold)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: %w", err)
+	}
+	if cfg.Quorum < 0 {
+		return nil, fmt.Errorf("fusion: negative quorum %d", cfg.Quorum)
+	}
+	return &Coordinator{
+		cfg:      cfg,
+		monitors: make(map[string]*monitor),
+		det:      det,
+	}, nil
+}
+
+// quorum resolves the effective quorum for the current monitor set.
+func (c *Coordinator) quorum() int {
+	if c.cfg.Quorum > 0 {
+		return c.cfg.Quorum
+	}
+	return max(len(c.monitors), c.cfg.Expect)/2 + 1
+}
+
+// Ingest folds a batch of summaries into the coordinator — the body of
+// one uplink POST. Unknown monitors are registered, duplicate
+// (monitor, period) deliveries and periods already fused are counted
+// and ignored, and fusion advances as far as staleness and quorum
+// allow. It returns how many summaries were accepted.
+func (c *Coordinator) Ingest(batch []summary.PeriodSummary) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	accepted := 0
+	for _, ps := range batch {
+		if ps.Monitor == "" || ps.Index < 0 {
+			continue
+		}
+		m := c.monitors[ps.Monitor]
+		if m == nil {
+			m = &monitor{name: ps.Monitor, pending: make(map[int]summary.PeriodSummary), latest: -1}
+			c.monitors[ps.Monitor] = m
+			c.order = append(c.order, ps.Monitor)
+		}
+		if ps.Index < c.frontier {
+			m.duplicates++ // late: its period already fused (as gap or earlier copy)
+			continue
+		}
+		if _, dup := m.pending[ps.Index]; dup {
+			m.duplicates++
+			continue
+		}
+		m.pending[ps.Index] = ps
+		if ps.Index > m.latest {
+			m.latest = ps.Index
+		}
+		if len(ps.Sources) > 0 {
+			m.lastSources = ps.Sources
+		}
+		m.received++
+		accepted++
+	}
+	c.advance()
+	return accepted
+}
+
+// maxLatest returns the most advanced monitor frontier, -1 with no
+// deliveries yet.
+func (c *Coordinator) maxLatest() int {
+	max := -1
+	for _, name := range c.order {
+		if l := c.monitors[name].latest; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// advance fuses every period the delivery state allows. Period f (the
+// frontier) fuses when, among non-stale monitors, everyone is ready —
+// has f pending, or has moved past it (gap) — and the ready count
+// meets the quorum. Stale monitors neither block nor vote.
+func (c *Coordinator) advance() {
+	if len(c.order) < c.cfg.Expect {
+		return // the fleet is still assembling; hold the first periods
+	}
+	for {
+		f := c.frontier
+		top := c.maxLatest()
+		if top < f {
+			return // nothing at or past the frontier anywhere
+		}
+		ready, stale := 0, 0
+		for _, name := range c.order {
+			m := c.monitors[name]
+			if top-m.latest > c.cfg.StaleAfter {
+				stale++
+				continue
+			}
+			if _, ok := m.pending[f]; ok || m.latest >= f {
+				ready++
+			}
+		}
+		live := len(c.order) - stale
+		if ready < live || ready < c.quorum() {
+			return
+		}
+		c.fuseOne(f, top)
+	}
+}
+
+// fuseOne folds period f into the fused statistic. Caller holds c.mu
+// and has established that every live monitor is ready.
+func (c *Coordinator) fuseOne(f, top int) {
+	fp := FusedPeriod{Index: f}
+	var sum float64
+	pushes := make(map[*monitor]obs, len(c.order))
+	for _, name := range c.order {
+		m := c.monitors[name]
+		if top-m.latest > c.cfg.StaleAfter {
+			// Excluded: no history push — a stale monitor's silence says
+			// nothing about its traffic — and a zero contribution.
+			m.contrib = append(m.contrib, 0)
+			fp.Stale++
+		} else {
+			o := obs{gap: true}
+			if ps, ok := m.pending[f]; ok {
+				o = obs{x: ps.X, censored: ps.Censored}
+				delete(m.pending, f)
+				fp.Participants++
+			} else {
+				m.gaps++
+				fp.Gaps++
+			}
+			q := m.quantile(o, c.cfg.MinHistory)
+			ctr := 2 * (q - 0.5)
+			sum += ctr
+			m.contrib = append(m.contrib, ctr)
+			pushes[m] = o
+		}
+		// Keep contributions to the history depth, not the localization
+		// window: the alarm-time verdict needs room to look back over
+		// however long the excursion took to cross the threshold.
+		if len(m.contrib) > c.cfg.History {
+			m.contrib = m.contrib[len(m.contrib)-c.cfg.History:]
+		}
+	}
+	if n := fp.Participants + fp.Gaps; n > 0 {
+		fp.X = sum / float64(n)
+	}
+	c.det.Observe(fp.X)
+	// The rank histories are the H0 reference, so a mature reference
+	// advances only while the fused CUSUM believes the fleet is quiet
+	// (yn back at zero). During an excursion it freezes: otherwise a
+	// slow-crossing dispersed flood slides into its own history, the
+	// flood becomes the new normal, and the rank signal decays before
+	// the threshold is reached. A noise excursion ends with yn at zero
+	// and pushes resume, having skipped only a few periods. An immature
+	// reference (under half the history depth) keeps growing regardless
+	// — freezing a handful of observations would pin whatever rank bias
+	// that tiny sample happens to carry for the whole excursion, and a
+	// few monitors' pinned biases can sum past the offset and walk a
+	// quiet fleet into a false alarm.
+	quiet := c.det.Statistic() == 0
+	for m, o := range pushes {
+		if quiet || len(m.history) < c.cfg.History/2 {
+			m.push(o, c.cfg.History)
+		}
+	}
+	fp.Y = c.det.Statistic()
+	fp.Alarmed = c.det.Alarmed()
+	c.fused = append(c.fused, fp)
+	if fp.Alarmed && c.alarm == nil {
+		cp := fp
+		c.alarm = &cp
+	}
+	// The alarm verdict hardens over the first localization window
+	// after the alarm — a CUSUM crossing can lag the change by a single
+	// loud period, so the instant-of-alarm window still holds mostly
+	// pre-change noise — then freezes. The live Localize view keeps
+	// sliding; this capture is the one an operator acts on.
+	if c.alarm != nil && fp.Index < c.alarm.Index+c.cfg.LocalizeWindow {
+		loc := c.localizeLocked(fp.Index - c.alarm.Index + 1)
+		c.alarmLoc = &loc
+	}
+	c.frontier = f + 1
+}
+
+// Alarmed reports whether the fused CUSUM has latched an alarm.
+func (c *Coordinator) Alarmed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.det.Alarmed()
+}
+
+// FirstAlarm returns the first alarmed fused period, nil before any.
+func (c *Coordinator) FirstAlarm() *FusedPeriod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.alarm == nil {
+		return nil
+	}
+	cp := *c.alarm
+	return &cp
+}
+
+// Fused returns the fused periods from index from on.
+func (c *Coordinator) Fused(from int) []FusedPeriod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(c.fused) {
+		from = len(c.fused)
+	}
+	return append([]FusedPeriod(nil), c.fused[from:]...)
+}
+
+// Monitors returns per-monitor delivery state in registration order.
+func (c *Coordinator) Monitors() []MonitorStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	top := c.maxLatest()
+	out := make([]MonitorStatus, 0, len(c.order))
+	for _, name := range c.order {
+		m := c.monitors[name]
+		out = append(out, MonitorStatus{
+			Name:       m.name,
+			Latest:     m.latest,
+			Pending:    len(m.pending),
+			Stale:      top-m.latest > c.cfg.StaleAfter,
+			Received:   m.received,
+			Duplicates: m.duplicates,
+			Gaps:       m.gaps,
+		})
+	}
+	return out
+}
+
+// Localize ranks monitors by their mean centered-quantile contribution
+// over the localization window and returns the set carrying the
+// attack: every monitor whose mean contribution is positive
+// (> 0.1, noise floor) and within half of the strongest one, plus the
+// deduplicated source prefixes from those monitors' freshest digests,
+// each monitor's digests in their tracker-ranked order.
+//
+// This is the live view — the window slides, so once an attack ends
+// the verdict fades with it. The verdict at the moment the alarm
+// latched is captured separately (AlarmLocalization, served by
+// /status), which is the one an operator acts on.
+func (c *Coordinator) Localize() Localization {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.localizeLocked(c.cfg.LocalizeWindow)
+}
+
+// localizeLocked scores each monitor over its last window contributions
+// (window is clamped to what exists); the caller holds c.mu.
+func (c *Coordinator) localizeLocked(window int) Localization {
+	type ranked struct {
+		name string
+		mean float64
+		srcs []summary.SourceDigest
+	}
+	var rs []ranked
+	var top float64
+	for _, name := range c.order {
+		m := c.monitors[name]
+		cw := m.contrib
+		if len(cw) > window {
+			cw = cw[len(cw)-window:]
+		}
+		if len(cw) == 0 {
+			continue
+		}
+		var s float64
+		for _, v := range cw {
+			s += v
+		}
+		mean := s / float64(len(cw))
+		rs = append(rs, ranked{name: m.name, mean: mean, srcs: m.lastSources})
+		if mean > top {
+			top = mean
+		}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].mean > rs[j].mean })
+	var loc Localization
+	seen := make(map[string]bool)
+	for _, r := range rs {
+		if r.mean <= 0.1 || r.mean < top/2 {
+			continue
+		}
+		loc.Monitors = append(loc.Monitors, r.name)
+		for _, d := range r.srcs {
+			key := d.Key.String()
+			if !seen[key] {
+				seen[key] = true
+				loc.Prefixes = append(loc.Prefixes, key)
+			}
+		}
+	}
+	return loc
+}
+
+// Status is the coordinator's /status payload.
+type Status struct {
+	Monitors     int           `json:"monitors"`
+	StaleCount   int           `json:"stale"`
+	Quorum       int           `json:"quorum"`
+	Frontier     int           `json:"frontier"`
+	FusedPeriods int           `json:"fusedPeriods"`
+	Statistic    float64       `json:"yn"`
+	Alarmed      bool          `json:"alarmed"`
+	AlarmPeriod  int           `json:"alarmPeriod,omitempty"`
+	Localization *Localization `json:"localization,omitempty"`
+}
+
+// AlarmLocalization returns the localization captured as the first
+// alarm latched, nil before any alarm.
+func (c *Coordinator) AlarmLocalization() *Localization {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.alarmLoc == nil {
+		return nil
+	}
+	cp := *c.alarmLoc
+	return &cp
+}
+
+// Status snapshots the coordinator. Localization is attached only
+// after an alarm — before one there is nothing to localize — and is
+// the alarm-time capture, not the sliding live view.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stale := 0
+	top := c.maxLatest()
+	for _, name := range c.order {
+		if top-c.monitors[name].latest > c.cfg.StaleAfter {
+			stale++
+		}
+	}
+	s := Status{
+		Monitors:     len(c.order),
+		StaleCount:   stale,
+		Quorum:       c.quorum(),
+		Frontier:     c.frontier,
+		FusedPeriods: len(c.fused),
+		Statistic:    c.det.Statistic(),
+		Alarmed:      c.det.Alarmed(),
+	}
+	if c.alarm != nil {
+		s.AlarmPeriod = c.alarm.Index
+	}
+	if c.alarmLoc != nil {
+		cp := *c.alarmLoc
+		s.Localization = &cp
+	}
+	return s
+}

@@ -1,0 +1,348 @@
+package fusion
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"repro/internal/summary"
+)
+
+func prefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// mk builds one summary for monitor m at period p with observation x.
+func mk(m string, p int, x float64) summary.PeriodSummary {
+	return summary.PeriodSummary{Monitor: m, Index: p, X: x, Y: x}
+}
+
+// censored builds one censored summary (the wire form of a quiet
+// period).
+func censored(m string, p int) summary.PeriodSummary {
+	return summary.PeriodSummary{Monitor: m, Index: p, Censored: true}
+}
+
+// deliverQuiet feeds periods [from, to) of uncorrelated quiet noise to
+// every named monitor, round-robin in period order. The rng keeps the
+// sites heterogeneous: each has its own scale, which the quantile
+// normalization must erase.
+func deliverQuiet(t *testing.T, c *Coordinator, names []string, from, to int, rng *rand.Rand) {
+	t.Helper()
+	for p := from; p < to; p++ {
+		for i, m := range names {
+			scale := 0.05 * float64(i+1)
+			c.Ingest([]summary.PeriodSummary{mk(m, p, scale*rng.Float64())})
+		}
+	}
+}
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("m%d", i)
+	}
+	return out
+}
+
+func TestQuietFleetStaysQuiet(t *testing.T) {
+	c, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	deliverQuiet(t, c, names(4), 0, 200, rng)
+	if c.Alarmed() {
+		t.Fatalf("quiet heterogeneous fleet alarmed: %+v", c.Status())
+	}
+	if got := c.Status().FusedPeriods; got != 200 {
+		t.Fatalf("fused %d periods, want 200", got)
+	}
+}
+
+func TestDispersedFloodDetected(t *testing.T) {
+	c, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := names(4)
+	rng := rand.New(rand.NewSource(2))
+	deliverQuiet(t, c, ns, 0, 40, rng)
+	if c.Alarmed() {
+		t.Fatal("alarmed during the quiet prefix")
+	}
+	// Flood onset: every site's observation shifts to the top of its
+	// own historical range — individually mild (each x stays below the
+	// local CUSUM's design offset of 0.35), jointly unmistakable.
+	for p := 40; p < 60; p++ {
+		for i, m := range ns {
+			scale := 0.05 * float64(i+1)
+			c.Ingest([]summary.PeriodSummary{mk(m, p, scale+0.01)})
+		}
+		if c.Alarmed() {
+			al := c.FirstAlarm()
+			if al == nil || al.Index < 40 {
+				t.Fatalf("alarm outside the flood: %+v", al)
+			}
+			if p-40 > 8 {
+				t.Fatalf("detection took %d periods, want <= 8", p-40)
+			}
+			return
+		}
+	}
+	t.Fatalf("dispersed flood never detected: %+v", c.Status())
+}
+
+func TestLaggingMonitorExcludedAfterWindow(t *testing.T) {
+	c, err := NewCoordinator(Config{StaleAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := names(4)
+	rng := rand.New(rand.NewSource(3))
+	deliverQuiet(t, c, ns, 0, 10, rng)
+
+	// m3 goes silent; the rest keep reporting. Fusion must stall only
+	// until m3 falls behind the staleness window, then proceed without
+	// it.
+	for p := 10; p < 20; p++ {
+		for _, m := range ns[:3] {
+			c.Ingest([]summary.PeriodSummary{censored(m, p)})
+		}
+	}
+	st := c.Status()
+	if st.StaleCount != 1 {
+		t.Fatalf("stale monitors = %d, want 1 (%+v)", st.StaleCount, c.Monitors())
+	}
+	// Fused frontier: periods 10..(20-StaleAfter-ish) fuse without m3.
+	if st.FusedPeriods <= 10 {
+		t.Fatalf("fusion stalled behind a dead monitor: %+v", st)
+	}
+	for _, m := range c.Monitors() {
+		if m.Name == "m3" {
+			if !m.Stale {
+				t.Fatalf("m3 not marked stale: %+v", m)
+			}
+		} else if m.Stale {
+			t.Fatalf("live monitor %s marked stale", m.Name)
+		}
+	}
+}
+
+func TestQuorumAlarmsWithDeadMonitor(t *testing.T) {
+	c, err := NewCoordinator(Config{Quorum: 3, StaleAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := names(4)
+	rng := rand.New(rand.NewSource(4))
+	deliverQuiet(t, c, ns, 0, 40, rng)
+
+	// m3 dies at the flood onset; the other three carry it. The quorum
+	// of 3 still holds, so the fused alarm must fire.
+	for p := 40; p < 70; p++ {
+		for i, m := range ns[:3] {
+			scale := 0.05 * float64(i+1)
+			c.Ingest([]summary.PeriodSummary{mk(m, p, scale+0.01)})
+		}
+	}
+	if !c.Alarmed() {
+		t.Fatalf("flood with 3/4 monitors alive never alarmed: %+v", c.Status())
+	}
+	loc := c.Localize()
+	for _, m := range loc.Monitors {
+		if m == "m3" {
+			t.Fatalf("dead monitor localized as a carrier: %+v", loc)
+		}
+	}
+	if len(loc.Monitors) == 0 {
+		t.Fatalf("no monitors localized: %+v", loc)
+	}
+}
+
+func TestBelowQuorumHolds(t *testing.T) {
+	c, err := NewCoordinator(Config{Quorum: 3, StaleAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := names(4)
+	rng := rand.New(rand.NewSource(5))
+	deliverQuiet(t, c, ns, 0, 10, rng)
+	fusedBefore := c.Status().FusedPeriods
+
+	// Only two monitors keep reporting: below the quorum of 3, fusion
+	// must hold even after the silent pair go stale.
+	for p := 10; p < 30; p++ {
+		for i, m := range ns[:2] {
+			scale := 0.05 * float64(i+1)
+			c.Ingest([]summary.PeriodSummary{mk(m, p, scale+0.01)})
+		}
+	}
+	st := c.Status()
+	if st.FusedPeriods != fusedBefore {
+		t.Fatalf("fused %d periods below quorum (had %d)", st.FusedPeriods, fusedBefore)
+	}
+	if c.Alarmed() {
+		t.Fatal("alarmed on sub-quorum evidence")
+	}
+}
+
+func TestDuplicateAndOutOfOrderIdempotent(t *testing.T) {
+	// build delivers 50 periods to 3 monitors. Period 0 always goes in
+	// canonical order (pinning monitor registration order, which fixes
+	// the summation order); later period groups are optionally shuffled
+	// across monitors, and dup late re-deliveries of already-fused
+	// summaries are appended at the end. The fused output must be
+	// identical to the in-order, duplicate-free reference.
+	build := func(seed int64, shuffle bool, dup int) *Coordinator {
+		c, err := NewCoordinator(Config{Expect: 3, StaleAfter: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns := names(3)
+		rng := rand.New(rand.NewSource(seed))
+		var all []summary.PeriodSummary
+		vals := rand.New(rand.NewSource(seed + 100))
+		for p := 0; p < 50; p++ {
+			group := make([]summary.PeriodSummary, 0, len(ns))
+			for i, m := range ns {
+				scale := 0.05 * float64(i+1)
+				x := scale * vals.Float64()
+				if p >= 30 {
+					x = scale + 0.01
+				}
+				group = append(group, mk(m, p, x))
+			}
+			if shuffle && p > 0 {
+				rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+			}
+			for _, ps := range group {
+				c.Ingest([]summary.PeriodSummary{ps})
+			}
+			all = append(all, group...)
+		}
+		for i := 0; i < dup; i++ {
+			c.Ingest([]summary.PeriodSummary{all[rng.Intn(len(all))]})
+		}
+		return c
+	}
+
+	ref := build(7, false, 0)
+	got := build(7, true, 40)
+	refF, gotF := ref.Fused(0), got.Fused(0)
+	if len(refF) != len(gotF) {
+		t.Fatalf("fused %d vs %d periods", len(gotF), len(refF))
+	}
+	for i := range refF {
+		if refF[i] != gotF[i] {
+			t.Fatalf("fused[%d] differs under shuffle+dup:\n got %+v\nwant %+v", i, gotF[i], refF[i])
+		}
+	}
+	var dups uint64
+	for _, m := range got.Monitors() {
+		dups += m.Duplicates
+	}
+	if dups != 40 {
+		t.Fatalf("duplicates counted = %d, want 40", dups)
+	}
+}
+
+func TestGapFillsOnSkippedPeriod(t *testing.T) {
+	// m0 loses one uplink batch (period 5 never arrives) but keeps
+	// reporting later periods. Fusion must not deadlock: once m0's
+	// frontier moves past 5, the missing period fuses as a censored
+	// gap, and the eventual late re-delivery counts as a duplicate.
+	c, err := NewCoordinator(Config{StaleAfter: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := names(3)
+	rng := rand.New(rand.NewSource(9))
+	deliverQuiet(t, c, ns, 0, 5, rng)
+	// Period 5: m1 and m2 deliver; m0 skips it and delivers period 6.
+	c.Ingest([]summary.PeriodSummary{censored("m1", 5), censored("m2", 5)})
+	if got := c.Status().FusedPeriods; got != 5 {
+		t.Fatalf("fused %d periods before m0 moved on, want 5", got)
+	}
+	c.Ingest([]summary.PeriodSummary{censored("m0", 6)})
+	if got := c.Status().FusedPeriods; got != 6 {
+		t.Fatalf("fused %d periods after the gap fill, want 6", got)
+	}
+	for _, m := range c.Monitors() {
+		if m.Name == "m0" && m.Gaps != 1 {
+			t.Fatalf("m0 gaps = %d, want 1", m.Gaps)
+		}
+	}
+	// The lost batch finally shows up: too late, dropped as duplicate.
+	c.Ingest([]summary.PeriodSummary{censored("m0", 5)})
+	for _, m := range c.Monitors() {
+		if m.Name == "m0" && m.Duplicates != 1 {
+			t.Fatalf("m0 duplicates = %d, want 1", m.Duplicates)
+		}
+	}
+}
+
+func TestLocalizePicksCarryingSubset(t *testing.T) {
+	c, err := NewCoordinator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := names(4)
+	rng := rand.New(rand.NewSource(8))
+	deliverQuiet(t, c, ns, 0, 40, rng)
+
+	// Only m0 and m1 carry the flood; their summaries name the
+	// attacking /24s. m2/m3 stay quiet noise.
+	for p := 40; p < 60; p++ {
+		for i, m := range ns {
+			scale := 0.05 * float64(i+1)
+			if i < 2 {
+				ps := mk(m, p, scale+0.01)
+				ps.Sources = []summary.SourceDigest{{Key: prefix(t, fmt.Sprintf("10.%d.0.0/24", i)), SYNs: 100, Alarmed: true}}
+				c.Ingest([]summary.PeriodSummary{ps})
+			} else {
+				c.Ingest([]summary.PeriodSummary{mk(m, p, scale*rng.Float64())})
+			}
+		}
+	}
+	if !c.Alarmed() {
+		t.Fatalf("two-site flood never alarmed: %+v", c.Status())
+	}
+	loc := c.Localize()
+	want := map[string]bool{"m0": true, "m1": true}
+	for _, m := range loc.Monitors {
+		if !want[m] {
+			t.Fatalf("non-carrying monitor %s localized: %+v", m, loc)
+		}
+		delete(want, m)
+	}
+	if len(want) != 0 {
+		t.Fatalf("carrying monitors missed: %v (got %+v)", want, loc)
+	}
+	if len(loc.Prefixes) != 2 {
+		t.Fatalf("prefixes = %v, want the two attacking /24s", loc.Prefixes)
+	}
+}
+
+func TestQuantileNeutralUntilMinHistory(t *testing.T) {
+	m := &monitor{}
+	if q := m.quantile(obs{x: 0.5}, 4); q != 0.5 {
+		t.Fatalf("empty history quantile = %g, want neutral 0.5", q)
+	}
+	for i := 0; i < 8; i++ {
+		m.push(obs{censored: true}, 64)
+	}
+	if q := m.quantile(obs{censored: true}, 4); q != 0.5 {
+		t.Fatalf("all-censored quantile = %g, want neutral 0.5", q)
+	}
+	// An uncensored value above an all-censored history ranks high.
+	if q := m.quantile(obs{x: 0.2}, 4); q <= 0.9 {
+		t.Fatalf("uncensored above censored class = %g, want > 0.9", q)
+	}
+}

@@ -1,0 +1,198 @@
+package summary
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Uplink defaults: small batches keep the coordinator's ingest latency
+// low, a few hundred queued summaries absorb minutes of backpressure
+// at one summary per period, and the flush interval bounds how stale a
+// quiet monitor's frontier can look.
+const (
+	DefaultBatchSize     = 16
+	DefaultBuffer        = 256
+	DefaultFlushInterval = 500 * time.Millisecond
+)
+
+// UplinkConfig configures an uplink client.
+type UplinkConfig struct {
+	// URL is the coordinator base URL; batches POST to URL + "/ingest".
+	URL string
+	// Summary is the export shape: censoring threshold and digest
+	// budget, applied to every summary on the way out.
+	Summary Config
+	// BatchSize caps summaries per POST (0 = DefaultBatchSize).
+	BatchSize int
+	// Buffer is the queue capacity (0 = DefaultBuffer). When the queue
+	// is full, Send drops the summary and counts it — the ChanSource
+	// drop-mode contract: a slow coordinator sheds evidence, it never
+	// stalls detection.
+	Buffer int
+	// FlushInterval bounds how long a partial batch waits before it is
+	// sent anyway (0 = DefaultFlushInterval).
+	FlushInterval time.Duration
+	// Client overrides the HTTP client (tests; default 5s timeout).
+	Client *http.Client
+}
+
+// Uplink streams censored summaries to a fusion coordinator: bounded
+// queue in front, one sender goroutine behind, batched JSON POSTs on
+// the wire. Send never blocks; overflow and send failures are counted,
+// not retried — the coordinator's staleness window and the summaries'
+// period indices make loss recoverable (a gap fuses as a censored
+// observation).
+type Uplink struct {
+	cfg UplinkConfig
+
+	ch      chan PeriodSummary
+	done    chan struct{} // closed by Close: stop accepting, drain, exit
+	senderD chan struct{} // closed when the sender goroutine exits
+
+	closeOnce sync.Once
+
+	sent     atomic.Uint64 // summaries delivered in a 2xx batch
+	dropped  atomic.Uint64 // summaries shed at the full queue or after Close
+	failures atomic.Uint64 // summaries lost to failed POSTs
+}
+
+// NewUplink starts an uplink client; Close flushes and stops it.
+func NewUplink(cfg UplinkConfig) (*Uplink, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("summary: uplink needs a coordinator URL")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	u := &Uplink{
+		cfg:     cfg,
+		ch:      make(chan PeriodSummary, cfg.Buffer),
+		done:    make(chan struct{}),
+		senderD: make(chan struct{}),
+	}
+	go u.sender()
+	return u, nil
+}
+
+// Send enqueues one summary, censored per the uplink's config. It
+// never blocks: a full queue (or a closed uplink) drops the summary
+// and increments Dropped.
+func (u *Uplink) Send(ps PeriodSummary) {
+	select {
+	case <-u.done:
+		u.dropped.Add(1)
+		return
+	default:
+	}
+	select {
+	case u.ch <- ps.Censor(u.cfg.Summary):
+	default:
+		u.dropped.Add(1)
+	}
+}
+
+// Sent counts summaries acknowledged by the coordinator.
+func (u *Uplink) Sent() uint64 { return u.sent.Load() }
+
+// Dropped counts summaries shed under backpressure — the DropCounter
+// face of the uplink, mirroring ingest.ChanSource drop mode.
+func (u *Uplink) Dropped() uint64 { return u.dropped.Load() }
+
+// Failures counts summaries lost to failed or rejected POSTs.
+func (u *Uplink) Failures() uint64 { return u.failures.Load() }
+
+// Close stops the uplink: queued summaries are flushed (one last
+// drain), later Sends drop, and the sender goroutine exits before
+// Close returns. Safe to call more than once.
+func (u *Uplink) Close() error {
+	u.closeOnce.Do(func() { close(u.done) })
+	<-u.senderD
+	return nil
+}
+
+// sender is the single worker: it gathers batches from the queue and
+// posts them until Close, then drains whatever is already queued.
+func (u *Uplink) sender() {
+	defer close(u.senderD)
+	timer := time.NewTimer(u.cfg.FlushInterval)
+	defer timer.Stop()
+	batch := make([]PeriodSummary, 0, u.cfg.BatchSize)
+
+	flush := func() {
+		if len(batch) > 0 {
+			u.post(batch)
+			batch = batch[:0]
+		}
+	}
+	for {
+		select {
+		case ps := <-u.ch:
+			batch = append(batch, ps)
+			// Opportunistically fill the batch from whatever is queued.
+			for len(batch) < u.cfg.BatchSize {
+				select {
+				case more := <-u.ch:
+					batch = append(batch, more)
+				default:
+					goto filled
+				}
+			}
+		filled:
+			if len(batch) >= u.cfg.BatchSize {
+				flush()
+			}
+		case <-timer.C:
+			flush()
+			timer.Reset(u.cfg.FlushInterval)
+		case <-u.done:
+			// Drain what was queued before Close, then exit.
+			for {
+				select {
+				case ps := <-u.ch:
+					batch = append(batch, ps)
+					if len(batch) >= u.cfg.BatchSize {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// post delivers one batch; failures are counted per summary and the
+// batch is dropped (the coordinator treats the gap as censored).
+func (u *Uplink) post(batch []PeriodSummary) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		u.failures.Add(uint64(len(batch)))
+		return
+	}
+	resp, err := u.cfg.Client.Post(u.cfg.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		u.failures.Add(uint64(len(batch)))
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		u.failures.Add(uint64(len(batch)))
+		return
+	}
+	u.sent.Add(uint64(len(batch)))
+}
