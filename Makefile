@@ -1,18 +1,24 @@
 # SYN-dog reproduction — convenience targets.
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-gate examples experiments fast-experiments evasion distributed fuzz soak soak-short clean
+.PHONY: all build build-live vet test race check bench bench-gate examples experiments fast-experiments ablations evasion distributed victim fuzz soak soak-short clean
 
 all: build vet test
 
 # The full pre-merge gate: static checks, the test suite, the race
 # detector, the seeded adversarial evasion matrix, the distributed
-# detection smoke, a short-budget soak of the multi-agent daemon, and
-# the hot-path bench-regression gate in one target.
-check: vet test race evasion distributed soak-short bench-gate
+# detection smoke, the victim two-queue race, a short-budget soak of
+# the multi-agent daemon, and the hot-path bench-regression gate in
+# one target.
+check: vet test race evasion distributed victim soak-short bench-gate
 
 build:
 	$(GO) build ./...
+
+# The AF_PACKET live-capture leg is gated behind the "live" build tag
+# (linux only); this compiles it so the tagged files cannot rot.
+build-live:
+	$(GO) build -tags live ./...
 
 vet:
 	$(GO) vet ./...
@@ -32,12 +38,12 @@ record:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Root benchmark suite, 6 samples per benchmark, distilled into the
-# committed BENCH_pr9.json baseline (median ns/op, B/op, allocs/op per
-# benchmark) so perf changes diff against a recorded trajectory.
+# committed BENCH_pr10.json baseline (median ns/op, B/op, allocs/op
+# per benchmark) so perf changes diff against a recorded trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr9.raw
-	$(GO) run ./cmd/benchjson -o BENCH_pr9.json < BENCH_pr9.raw
-	rm -f BENCH_pr9.raw
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 . | tee BENCH_pr10.raw
+	$(GO) run ./cmd/benchjson -o BENCH_pr10.json < BENCH_pr10.raw
+	rm -f BENCH_pr10.raw
 
 # Enforced regression gate over the hot-path benchmarks: rerun them
 # (medians of GATECOUNT samples) and diff against the committed
@@ -46,10 +52,10 @@ bench:
 # reported informationally. Raise GATETOL on noisy shared hardware.
 GATECOUNT ?= 3
 GATETOL ?= 0.10
-GATEHOT ?= Ingest|BatchIngest|SweepFastPath|RunCellFastPath|Fusion
+GATEHOT ?= Ingest|BatchIngest|SweepFastPath|RunCellFastPath|Fusion|FrameParse|TwoQueueAccept
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(GATEHOT)' -benchmem -count=$(GATECOUNT) . \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_pr9.json -tolerance $(GATETOL) -hot '$(GATEHOT)'
+		| $(GO) run ./cmd/benchjson -baseline BENCH_pr10.json -tolerance $(GATETOL) -hot '$(GATEHOT)'
 
 # Benchmarks across every package, one sample each (no JSON).
 bench-all:
@@ -86,6 +92,13 @@ evasion:
 distributed:
 	$(GO) run ./cmd/experiment -run distributed -fast
 
+# Victim two-queue race (seconds): the same flood fed to the detector
+# and to a real SYN-queue/accept-queue victim kernel, asserting the
+# alarm precedes the first legitimate connection failure. Seeded and
+# deterministic.
+victim:
+	$(GO) run ./cmd/experiment -run victim -fast
+
 # Multi-agent daemon soak under the race detector: hours of
 # operational churn (checkpoint, kill, resume, live reload) compressed
 # into SOAKTIME, asserting byte-identical final state for agents no
@@ -113,6 +126,7 @@ fuzz:
 	$(GO) test ./internal/sourcetrack -fuzz '^FuzzKeyedSnapshotRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/flood -fuzz '^FuzzPulsingCountsMatchRecords$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -fuzz '^FuzzBatchMatchesRecordPath$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/capture -fuzz '^FuzzFrameParse$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

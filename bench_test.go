@@ -18,16 +18,20 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/cusum"
+	"repro/internal/eventsim"
 	"repro/internal/experiment"
 	"repro/internal/flood"
 	"repro/internal/fusion"
 	"repro/internal/ingest"
 	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/pcapng"
 	"repro/internal/sourcetrack"
 	"repro/internal/summary"
+	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
@@ -638,6 +642,94 @@ func BenchmarkFloodGeneration(b *testing.B) {
 			b.Fatal("empty flood")
 		}
 	}
+}
+
+// BenchmarkFrameParse measures the live capture subsystem's per-frame
+// hot path — link-layer stripping, classification, TCP decode,
+// direction inference — over the three link framings the parser
+// accepts. This is the cost every sniffed packet pays before it
+// becomes a trace.Record, so it gates with the other hot paths.
+func BenchmarkFrameParse(b *testing.B) {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("130.216.0.9")
+	prefix := netip.MustParsePrefix("130.216.0.0/16")
+	seg := packet.Build(src, dst, 1234, 80, 7, 0, packet.FlagSYN)
+	raw := seg.Marshal(nil)
+	eth := append(append(make([]byte, 0, 14+len(raw)), make([]byte, 12)...), 0x08, 0x00)
+	eth = append(eth, raw...)
+	vlan := append(append(make([]byte, 0, 18+len(raw)), make([]byte, 12)...), 0x81, 0x00, 0x00, 0x05, 0x08, 0x00)
+	vlan = append(vlan, raw...)
+
+	cases := []struct {
+		name     string
+		linkType uint32
+		data     []byte
+	}{
+		{"raw", pcapng.LinkTypeRaw, raw},
+		{"eth", pcapng.LinkTypeEthernet, eth},
+		{"vlan", pcapng.LinkTypeEthernet, vlan},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			parser, err := capture.NewFrameParser(c.linkType, prefix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			parsed := 0
+			for i := 0; i < b.N; i++ {
+				rec, ok := parser.Parse(time.Duration(i), c.data)
+				if ok && rec.Kind == packet.KindSYN {
+					parsed++
+				}
+			}
+			if parsed != b.N {
+				b.Fatalf("parsed %d of %d frames", parsed, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkTwoQueueAccept measures the kernel victim model's two-queue
+// path end to end: SYN into the bounded SYN queue, SYN/ACK out, final
+// ACK into the bounded accept queue, application drain on the accept
+// timer — with enough concurrent handshakes that both overflow paths
+// are exercised, the regime the victim experiment scores.
+func BenchmarkTwoQueueAccept(b *testing.B) {
+	const conns = 512
+	victim := netip.MustParseAddr("11.99.99.1")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := eventsim.New()
+		var server *tcp.Server
+		send := func(seg packet.Segment) {
+			if seg.Kind() != packet.KindSYNACK {
+				return
+			}
+			ack := packet.Build(seg.IP.Dst, seg.IP.Src, seg.TCP.DstPort, seg.TCP.SrcPort,
+				seg.TCP.Ack, seg.TCP.Seq+1, packet.FlagACK)
+			sim.After(time.Millisecond, func(now time.Duration) { server.Deliver(now, ack) })
+		}
+		server, err := tcp.NewServer(sim, victim, 80, send, tcp.ServerConfig{AcceptBacklog: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < conns; c++ {
+			addr := netip.AddrFrom4([4]byte{10, 1, byte(c >> 8), byte(c)})
+			syn := packet.Build(addr, victim, uint16(1024+c), 80, 1, 0, packet.FlagSYN)
+			if _, err := sim.At(time.Duration(c)*2*time.Millisecond,
+				func(now time.Duration) { server.Deliver(now, syn) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sim.Run()
+		st := server.Stats()
+		if st.Accepted == 0 || st.ListenOverflows == 0 {
+			b.Fatalf("accept path not exercised: %+v", st)
+		}
+	}
+	b.ReportMetric(float64(conns)*float64(b.N)/b.Elapsed().Seconds(), "conns/s")
 }
 
 // Example-level sanity: the micro-bench file participates in `go test`

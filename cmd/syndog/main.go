@@ -10,9 +10,18 @@
 //
 //	syndog -in mixed.trace                  # binary trace
 //	syndog -in capture.pcap -prefix 152.2.0.0/16
+//	syndog -in live:pcap:feed.pcap -prefix 152.2.0.0/16  # capture-path replay (file or FIFO)
 //	syndog -in a.csv -a 0.2 -N 0.6          # site-tuned parameters
 //	syndog -in mixed.trace -detector adaptive-ewma
 //	syndog -in mixed.trace -track-sources   # per-source attribution
+//
+// live:pcap:PATH reads the file (or a FIFO fed by `tcpdump -w -`)
+// through the capture frame parser — the portable half of the live
+// subsystem — and is bit-identical to opening the same .pcap directly.
+// Endless interface capture (live:IFACE) belongs to syndogd, which has
+// an HTTP plane and a shutdown story; syndog is a finite-replay tool.
+// Sources that shed records under backpressure report the count on
+// exit ("records dropped: N") so loss is never silent.
 //
 // -track-sources runs a keyed CUSUM bank beside the aggregate
 // detector (internal/sourcetrack) and appends a ranked per-source
@@ -34,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
@@ -51,7 +61,7 @@ func main() {
 func run(args []string, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("syndog", flag.ContinueOnError)
 	var (
-		in         = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, .pcap, .ipt, .txt/.dump")
+		in         = fs.String("in", "", "input capture: .trace/.bin (binary), .csv, .pcap, .ipt, .txt/.dump, or live:pcap:PATH (capture-path replay)")
 		prefixStr  = fs.String("prefix", "", "stub prefix for pcap direction inference (e.g. 152.2.0.0/16)")
 		detector   = fs.String("detector", "", "decision rule: "+strings.Join(ingest.DetectorNames(), ", ")+" (default syndog-cusum)")
 		t0         = fs.Duration("t0", 20*time.Second, "observation period")
@@ -78,7 +88,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 		}
 	}
 
-	src, info, err := ingest.Open(*in, prefix)
+	src, info, err := openInput(*in, prefix)
 	if err != nil {
 		return 1, err
 	}
@@ -183,7 +193,50 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if tracker != nil {
 		printSources(stdout, tracker)
 	}
+	// Backpressure loss is part of the verdict: a source that shed
+	// records reports how many, so "no flooding detected" over a lossy
+	// replay is never mistaken for a complete one.
+	if dc, ok := src.(ingest.DropCounter); ok {
+		fmt.Fprintf(stdout, "records dropped: %d\n", dc.Dropped())
+	}
 	return code, nil
+}
+
+// openInput opens the -in argument: live:pcap:PATH goes through the
+// capture frame parser (bit-identical to the plain .pcap path — the
+// equivalence the daemon suite pins), everything else through
+// ingest.Open. live:IFACE is refused: an interface never reaches EOF,
+// and endless capture belongs to syndogd.
+func openInput(in string, prefix netip.Prefix) (ingest.Source, ingest.Info, error) {
+	rest, ok := strings.CutPrefix(in, "live:")
+	if !ok {
+		return ingest.Open(in, prefix)
+	}
+	path, isPcap := strings.CutPrefix(rest, "pcap:")
+	if !isPcap {
+		return nil, ingest.Info{}, fmt.Errorf("live:%s: interface capture never ends — run it under syndogd; syndog replays finite streams (live:pcap:PATH)", rest)
+	}
+	if path == "" {
+		return nil, ingest.Info{}, fmt.Errorf("live:pcap: needs a path (file or FIFO)")
+	}
+	if !prefix.IsValid() {
+		return nil, ingest.Info{}, fmt.Errorf("live input %s needs -prefix for direction inference", in)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ingest.Info{}, err
+	}
+	fr, err := capture.NewPcapReader(f, f)
+	if err != nil {
+		f.Close()
+		return nil, ingest.Info{}, err
+	}
+	src, err := capture.NewSource(fr, capture.Config{StubPrefix: prefix, Name: in})
+	if err != nil {
+		fr.Close()
+		return nil, ingest.Info{}, err
+	}
+	return src, ingest.Info{Name: in}, nil
 }
 
 // printSources renders the attribution block: the truncation ledger

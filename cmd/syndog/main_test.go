@@ -163,6 +163,55 @@ func TestRunTcpdumpInput(t *testing.T) {
 	}
 }
 
+// TestRunLivePcapInput: live:pcap:PATH replays a capture file through
+// the capture frame parser, reaches the same verdict as the plain
+// .pcap path, and reports its (zero, here: blocking mode) drop count.
+func TestRunLivePcapInput(t *testing.T) {
+	path := writeTempTrace(t, floodedTrace(t), "mixed.pcap")
+
+	var plain bytes.Buffer
+	if _, err := run([]string{"-in", path, "-prefix", "130.216.0.0/16"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-in", "live:pcap:" + path, "-prefix", "130.216.0.0/16"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("live:pcap exit code = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "records dropped: 0") {
+		t.Errorf("missing drop-count line:\n%s", out.String())
+	}
+	// Same verdict line as the plain path; only the trace name and the
+	// trailing drop line differ.
+	wantAlarm := ""
+	for _, line := range strings.Split(plain.String(), "\n") {
+		if strings.HasPrefix(line, "FLOODING ALARM") {
+			wantAlarm = line
+		}
+	}
+	if wantAlarm == "" || !strings.Contains(out.String(), wantAlarm) {
+		t.Errorf("live alarm line diverges from plain pcap path:\nplain: %q\nlive:\n%s", wantAlarm, out.String())
+	}
+}
+
+func TestRunLiveInputErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-in", "live:eth0", "-prefix", "10.0.0.0/8"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "syndogd") {
+		t.Errorf("live:eth0 error = %v, want pointer at syndogd", err)
+	}
+	if _, err := run([]string{"-in", "live:pcap:x.pcap"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-prefix") {
+		t.Errorf("live:pcap without prefix error = %v, want -prefix requirement", err)
+	}
+	if _, err := run([]string{"-in", "live:pcap:", "-prefix", "10.0.0.0/8"}, &out); err == nil {
+		t.Error("empty live:pcap path accepted")
+	}
+}
+
 func TestRunTunedParameters(t *testing.T) {
 	path := writeTempTrace(t, benignTrace(t), "bg.trace")
 	var out bytes.Buffer

@@ -59,6 +59,23 @@
 // learn its span and record count, then replayed without ever holding
 // the capture in memory. Direction inference needs -prefix.
 //
+// A live: input watches a wire instead of replaying a file, through
+// the internal/capture subsystem:
+//
+//	syndogd -in live:eth0 -prefix 152.2.0.0/16        # AF_PACKET (linux, -tags live, CAP_NET_RAW)
+//	syndogd -in live:pcap:feed.pcap -prefix 152.2.0.0/16  # pcap byte-stream: file, or FIFO fed by tcpdump -w -
+//
+// live:IFACE opens an AF_PACKET socket (build tag "live"; without it
+// the input is refused at startup) in drop mode: a NIC cannot be
+// paused, so ring overruns shed records and count them instead of
+// losing packets invisibly in the kernel. live:pcap:PATH is the
+// portable form — blocking, lossless, and bit-identical to replaying
+// the same file as a plain .pcap input. Live agents have no period
+// count or replay progress; -speed is ignored and periods close as
+// record timestamps cross boundaries. Capture-layer accounting
+// (frames, parsed records, ring and kernel drops) joins /status under
+// "capture" and /metrics as syndog_capture_*.
+//
 // With -state, the agent snapshot is loaded at start if the file
 // exists and written durably (fsync before rename) at shutdown — and
 // every -checkpoint interval while running. A resumed agent skips the

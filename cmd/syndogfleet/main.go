@@ -423,6 +423,13 @@ func runCampaign(cfg campaignConfig, w io.Writer) error {
 	st := server.Stats()
 	fmt.Fprintf(w, "\nvictim: %d SYNs, %d dropped (backlog full), %d established\n",
 		st.SynReceived, st.SynDropped, st.Established)
+	// Backpressure loss across every stub's live ring: a verdict over a
+	// lossy campaign is flagged, not silently trusted.
+	var recordsDropped uint64
+	for _, src := range sources {
+		recordsDropped += src.Dropped()
+	}
+	fmt.Fprintf(w, "recordsDropped: %d\n", recordsDropped)
 	fmt.Fprintf(w, "fleet accuracy: %d/%d stubs judged correctly\n", correct, len(reports))
 	if correct != len(reports) {
 		return fmt.Errorf("fleet verdicts disagree with ground truth")

@@ -80,6 +80,9 @@ func TestFleetCampaignDeterministic(t *testing.T) {
 	if a.String() != b.String() {
 		t.Errorf("same seed, different reports:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
 	}
+	if !bytes.Contains(a.Bytes(), []byte("recordsDropped: ")) {
+		t.Errorf("report missing the recordsDropped ledger line:\n%s", a.String())
+	}
 }
 
 func TestFleetSnapshotDir(t *testing.T) {

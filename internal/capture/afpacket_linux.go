@@ -1,0 +1,144 @@
+//go:build linux && live
+
+package capture
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"repro/internal/pcapng"
+)
+
+// ethPAll is ETH_P_ALL (0x0003): deliver every protocol.
+const ethPAll = 0x0003
+
+// defaultSnapLen bounds one captured frame; 65535 keeps whole packets
+// on any sane MTU.
+const defaultSnapLen = 65535
+
+// readPollInterval is the SO_RCVTIMEO on the packet socket. A blocked
+// Recvfrom wakes at this cadence to notice Close — the stdlib syscall
+// package has no way to interrupt a raw socket read from another
+// goroutine, so the reader polls a closed flag instead.
+const readPollInterval = 250 * time.Millisecond
+
+// tpacketStats mirrors the kernel's struct tpacket_stats returned by
+// getsockopt(SOL_PACKET, PACKET_STATISTICS).
+type tpacketStats struct {
+	packets uint32
+	drops   uint32
+}
+
+// afpacketReader is a FrameReader over an AF_PACKET raw socket bound
+// to one interface. Frames carry Ethernet headers (LinkTypeEthernet)
+// and timestamps relative to the reader's start — pair it with
+// Config.Rebase in callers that care, though relative-to-start already
+// begins near zero.
+type afpacketReader struct {
+	fd        int
+	buf       []byte
+	start     time.Time
+	closed    atomic.Bool
+	kernDrops uint64 // accumulated kernel drops; see Drops
+}
+
+// NewAFPacketReader opens an AF_PACKET/SOCK_RAW socket bound to the
+// named interface, capturing every protocol at snapLen bytes per frame
+// (0 means the 65535 default). Requires CAP_NET_RAW. Only built with
+// `-tags live` on Linux; elsewhere the stub variant returns an error.
+func NewAFPacketReader(iface string, snapLen int) (FrameReader, error) {
+	if snapLen <= 0 {
+		snapLen = defaultSnapLen
+	}
+	ifi, err := net.InterfaceByName(iface)
+	if err != nil {
+		return nil, fmt.Errorf("capture: interface %q: %w", iface, err)
+	}
+	proto := htons(ethPAll)
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(proto))
+	if err != nil {
+		return nil, fmt.Errorf("capture: AF_PACKET socket: %w", err)
+	}
+	sa := &syscall.SockaddrLinklayer{Protocol: proto, Ifindex: ifi.Index}
+	if err := syscall.Bind(fd, sa); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("capture: bind %q: %w", iface, err)
+	}
+	tv := syscall.NsecToTimeval(readPollInterval.Nanoseconds())
+	if err := syscall.SetsockoptTimeval(fd, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("capture: SO_RCVTIMEO: %w", err)
+	}
+	return &afpacketReader{
+		fd:    fd,
+		buf:   make([]byte, snapLen),
+		start: time.Now(),
+	}, nil
+}
+
+// htons converts a short to network byte order for the socket protocol
+// argument.
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// ReadFrame blocks for the next frame. The returned Data aliases the
+// reader's buffer. After Close it returns io.EOF.
+func (r *afpacketReader) ReadFrame() (Frame, error) {
+	for {
+		if r.closed.Load() {
+			return Frame{}, io.EOF
+		}
+		n, _, err := syscall.Recvfrom(r.fd, r.buf, 0)
+		if err != nil {
+			// EAGAIN is the SO_RCVTIMEO poll tick, EINTR a signal;
+			// both just mean "look again".
+			if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR {
+				continue
+			}
+			if r.closed.Load() {
+				return Frame{}, io.EOF
+			}
+			return Frame{}, fmt.Errorf("capture: recvfrom: %w", err)
+		}
+		if n <= 0 {
+			continue
+		}
+		return Frame{Ts: time.Since(r.start), Data: r.buf[:n]}, nil
+	}
+}
+
+// LinkType reports Ethernet framing — AF_PACKET/SOCK_RAW delivers the
+// link-layer header.
+func (r *afpacketReader) LinkType() uint32 { return pcapng.LinkTypeEthernet }
+
+// Drops returns the cumulative kernel-side drop count. The kernel
+// resets the PACKET_STATISTICS counter on every read, so the reader
+// accumulates deltas; calls are expected from one stats goroutine at a
+// time (the Source's Stats path).
+func (r *afpacketReader) Drops() uint64 {
+	if r.closed.Load() {
+		return atomic.LoadUint64(&r.kernDrops)
+	}
+	var st tpacketStats
+	l := uint32(unsafe.Sizeof(st))
+	_, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT, uintptr(r.fd),
+		uintptr(syscall.SOL_PACKET), uintptr(syscall.PACKET_STATISTICS),
+		uintptr(unsafe.Pointer(&st)), uintptr(unsafe.Pointer(&l)), 0)
+	if errno != 0 {
+		return atomic.LoadUint64(&r.kernDrops)
+	}
+	return atomic.AddUint64(&r.kernDrops, uint64(st.drops))
+}
+
+// Close marks the reader closed and releases the socket; a blocked
+// ReadFrame notices within readPollInterval.
+func (r *afpacketReader) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	return syscall.Close(r.fd)
+}

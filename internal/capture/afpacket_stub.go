@@ -1,0 +1,13 @@
+//go:build !(linux && live)
+
+package capture
+
+import "errors"
+
+// NewAFPacketReader is the portable stub: live interface capture needs
+// Linux AF_PACKET sockets and is gated behind the "live" build tag so
+// the rest of the tree stays portable. The pcap byte-stream path
+// (NewPcapReader over a file or FIFO) works everywhere.
+func NewAFPacketReader(iface string, snapLen int) (FrameReader, error) {
+	return nil, errors.New("capture: AF_PACKET capture requires linux and the 'live' build tag (go build -tags live)")
+}

@@ -1,0 +1,21 @@
+//go:build !(linux && live)
+
+package capture
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAFPacketStubError pins the portable stub's diagnostic: without
+// the live build tag, callers get a message naming the tag they need
+// rather than a platform-specific failure.
+func TestAFPacketStubError(t *testing.T) {
+	_, err := NewAFPacketReader("eth0", 0)
+	if err == nil {
+		t.Fatal("want error from the portable stub")
+	}
+	if !strings.Contains(err.Error(), "live") {
+		t.Errorf("stub error %q should name the 'live' build tag", err)
+	}
+}

@@ -1,0 +1,100 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/pcapng"
+	"repro/internal/trace"
+)
+
+// FuzzFrameParse pins the two properties the live path owes the rest
+// of the system: Parse never panics on arbitrary frame bytes, and on
+// every frame it accepts or rejects it agrees exactly with the offline
+// pcap decoder (trace.PcapStream) fed the same bytes through a
+// single-packet capture. Divergence here would let live mode and file
+// replay classify the same wire bytes differently.
+func FuzzFrameParse(f *testing.F) {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("130.216.0.9")
+	seg := packet.Build(src, dst, 1234, 80, 0, 0, packet.FlagSYN)
+	raw := seg.Marshal(nil)
+	eth := append(append(make([]byte, 0, 14+len(raw)), make([]byte, 12)...), 0x08, 0x00)
+	eth = append(eth, raw...)
+	vlan := append(append(make([]byte, 0, 18+len(raw)), make([]byte, 12)...), 0x81, 0x00, 0x00, 0x05, 0x08, 0x00)
+	vlan = append(vlan, raw...)
+
+	f.Add(raw, true)
+	f.Add(eth, false)
+	f.Add(vlan, false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0x45}, false)
+
+	prefix := netip.MustParsePrefix("130.216.0.0/16")
+	f.Fuzz(func(t *testing.T, data []byte, rawLink bool) {
+		if len(data) > 65535 {
+			data = data[:65535]
+		}
+		linkType := uint32(pcapng.LinkTypeEthernet)
+		if rawLink {
+			linkType = pcapng.LinkTypeRaw
+		}
+		parser, err := NewFrameParser(linkType, prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const ts = 3 * time.Second
+		rec, ok := parser.Parse(ts, data) // must not panic
+
+		// Reference decode: the same bytes as a one-packet capture
+		// through the offline pcap stream.
+		capBytes := singlePacketPcap(t, linkType, ts, data)
+		s, err := trace.NewPcapStream(bytes.NewReader(capBytes))
+		if err != nil {
+			t.Fatalf("reference decoder rejected a well-formed capture: %v", err)
+		}
+		want, werr := s.NextDir(prefix)
+		switch {
+		case werr == io.EOF:
+			if ok {
+				t.Fatalf("parser accepted a frame the pcap decoder skipped: %+v", rec)
+			}
+		case werr != nil:
+			t.Fatalf("reference decode failed: %v", werr)
+		default:
+			if !ok {
+				t.Fatalf("parser skipped a frame the pcap decoder accepted: %+v", want)
+			}
+			if rec != want {
+				t.Fatalf("parser %+v != pcap decoder %+v", rec, want)
+			}
+		}
+	})
+}
+
+// singlePacketPcap hand-assembles a classic little-endian microsecond
+// pcap holding one packet, so the fuzzer controls the frame bytes and
+// link type exactly.
+func singlePacketPcap(t *testing.T, linkType uint32, ts time.Duration, data []byte) []byte {
+	t.Helper()
+	buf := make([]byte, 0, 40+len(data))
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 0xa1b2c3d4) // micro magic
+	binary.LittleEndian.PutUint16(hdr[4:], 2)
+	binary.LittleEndian.PutUint16(hdr[6:], 4)
+	binary.LittleEndian.PutUint32(hdr[16:], 65535)
+	binary.LittleEndian.PutUint32(hdr[20:], linkType)
+	buf = append(buf, hdr[:]...)
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(ts/time.Second))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ts%time.Second/time.Microsecond))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(data)))
+	buf = append(buf, rec[:]...)
+	return append(buf, data...)
+}

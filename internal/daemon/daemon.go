@@ -109,10 +109,11 @@ type Daemon struct {
 	t0         time.Duration
 	span       time.Duration
 
-	resumeOffset int // periods already in the detector when the daemon started
-	totalPeriods int // complete periods the capture spans
-	records      int // records replayed so far (this run)
-	skipped      int // records skipped: their period predates the resume point
+	resumeOffset int  // periods already in the detector when the daemon started
+	totalPeriods int  // complete periods the capture spans; 0 for live sources
+	live         bool // live source: unbounded span, data-driven period closes
+	records      int  // records replayed so far (this run)
+	skipped      int  // records skipped: their period predates the resume point
 	done         bool
 	replayErr    error
 
@@ -207,6 +208,53 @@ func NewStream(det ingest.Detector, src ingest.Source, info ingest.Info, t0 time
 	return d, nil
 }
 
+// NewLive builds a daemon over a live source — a capture.Source on an
+// interface or pcap pipe, or any other ingest.Source whose span is
+// unknowable up front. There is no fixed period count and no pacing:
+// records arrive in real time and the aggregator closes a period when
+// the first record of the next one crosses the boundary (a completely
+// quiet period closes only when traffic resumes). Replay ends when the
+// source does — never for an interface, at stream end for a pipe —
+// with the trailing partial period closed so a finite live feed
+// accounts for every record.
+//
+// Resume still works: a detector restored with N periods makes the
+// aggregator skip records timestamped inside them, which is exactly
+// right for replaying a capture file through the live path and
+// meaningless-but-harmless for a freshly-rebased interface feed (whose
+// operator should start with fresh state).
+func NewLive(det ingest.Detector, src ingest.Source, name string, t0 time.Duration, opts Options) (*Daemon, error) {
+	opts.applyDefaults()
+	if t0 <= 0 {
+		return nil, fmt.Errorf("daemon: non-positive observation period %v", t0)
+	}
+	resume := det.Periods()
+	if opts.Tracker != nil && opts.Tracker.Periods() != resume {
+		return nil, fmt.Errorf("daemon: keyed state holds %d periods but detector holds %d — mismatched snapshot halves",
+			opts.Tracker.Periods(), resume)
+	}
+	d := &Daemon{
+		opts:         opts,
+		det:          det,
+		src:          src,
+		srcName:      name,
+		srcRecords:   -1,
+		t0:           t0,
+		live:         true,
+		resumeOffset: resume,
+	}
+	if ad, ok := det.(*ingest.AgentDetector); ok {
+		d.agent = ad.Agent()
+	}
+	d.summarizer = &summary.Summarizer{
+		Monitor: opts.Monitor,
+		Cfg:     opts.Summary,
+		Tracker: opts.Tracker,
+	}
+	d.summaries = d.summarizer.Backfill(det.Reports())
+	return d, nil
+}
+
 // emitSummary appends one closed period's summary to the store and
 // pushes it up the uplink. It runs inside the aggregator's period
 // close, which the replay loop always executes under d.mu — no
@@ -257,6 +305,9 @@ func (d *Daemon) Replay(ctx context.Context, speed float64) error {
 }
 
 func (d *Daemon) replay(ctx context.Context, speed float64) error {
+	if d.live {
+		return d.replayLive(ctx)
+	}
 	// The summarizer tap is the single emission path for closed
 	// periods: it folds the tracker (when present), builds the period's
 	// summary from the detector's report, and hands it to emitSummary —
@@ -407,6 +458,81 @@ func (d *Daemon) replay(ctx context.Context, speed float64) error {
 		d.mu.Unlock()
 	}
 	return nil
+}
+
+// replayLive is the live-mode replay loop: no span, no pacing, no
+// period count. The aggregator runs unbounded (span 0) and closes
+// periods data-driven as record timestamps cross boundaries; the speed
+// knob is ignored because a live source already arrives in real time.
+func (d *Daemon) replayLive(ctx context.Context) error {
+	var inner summary.RecordTap
+	if d.opts.Tracker != nil {
+		inner = d.opts.Tracker
+	}
+	tap := summary.NewTap(d.summarizer, inner, d.emitSummary)
+	agg, err := ingest.NewAggregator(d.t0, 0, d.det, tap.Sink)
+	if err != nil {
+		return err
+	}
+	agg.SetTap(tap)
+
+	// A live source blocks on a quiet wire; cancellation must close it
+	// to unblock the read, not just set a flag the loop never reaches.
+	stopClose := context.AfterFunc(ctx, func() { _ = d.src.Close() })
+	defer stopClose()
+
+	bs := ingest.AsBatch(d.src)
+	arena := ingest.NewArena(0)
+	buf := arena.Get()
+	defer arena.Put(buf)
+	for {
+		n, err := bs.NextBatch(buf)
+		if n > 0 {
+			d.mu.Lock()
+			ferr := agg.FeedBatch(buf[:n])
+			d.records = agg.Records() - agg.Skipped()
+			d.skipped = agg.Skipped()
+			d.mu.Unlock()
+			if ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// The read failed because cancellation closed the
+				// source out from under it.
+				return cerr
+			}
+			return err
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	// A finite live feed (pcap pipe at EOF): close out the complete
+	// periods the stream spanned, exactly as the bounded path would
+	// have for the same capture — the trailing partial period stays
+	// unreported on both paths, which is what keeps live pcap replay
+	// bit-identical to file replay. With no records counted beyond the
+	// resume point there is nothing to close.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if agg.Records() <= agg.Skipped() {
+		return nil
+	}
+	span := time.Duration(0)
+	if ss, ok := d.src.(ingest.SpanSource); ok {
+		span = ss.Span()
+	}
+	if span < d.t0 {
+		// Source without a span (or shorter than one period): no
+		// complete period to close.
+		return nil
+	}
+	return agg.Finish(span)
 }
 
 // failReplay records err as the replay failure. It exists so tests can

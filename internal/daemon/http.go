@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
@@ -24,22 +25,25 @@ type Status struct {
 	RecordsSkipped   int    `json:"recordsSkipped"`
 	// RecordsDropped counts records the live source shed under
 	// backpressure (ingest.DropCounter); 0 for file replays.
-	RecordsDropped uint64        `json:"recordsDropped"`
-	KBar           float64       `json:"kBar"`
-	Statistic      float64       `json:"yn"`
-	Alarmed        bool          `json:"alarmed"`
-	AlarmPeriod    int           `json:"alarmPeriod,omitempty"`
-	AlarmAtNanos   int64         `json:"alarmAtNanos,omitempty"`
-	ReplayDone     bool          `json:"replayDone"`
-	ReplayError    string        `json:"replayError,omitempty"`
-	LastOutSYN     uint64        `json:"lastOutSYN"`
-	LastInSYNACK   uint64        `json:"lastInSYNACK"`
-	Tracking       bool          `json:"tracking"`
-	SourcesTracked int           `json:"sourcesTracked"`
-	SourcesAlarmed int           `json:"sourcesAlarmed"`
-	SourcesEvicted uint64        `json:"sourcesEvicted"`
-	Checkpoints    int           `json:"checkpoints"`
-	CheckpointAge  time.Duration `json:"checkpointAgeNanos,omitempty"`
+	RecordsDropped uint64 `json:"recordsDropped"`
+	// Capture is the live capture accounting — frame, parse, skip and
+	// drop counters from the capture.Source. Absent for file replays.
+	Capture        *CaptureStatus `json:"capture,omitempty"`
+	KBar           float64        `json:"kBar"`
+	Statistic      float64        `json:"yn"`
+	Alarmed        bool           `json:"alarmed"`
+	AlarmPeriod    int            `json:"alarmPeriod,omitempty"`
+	AlarmAtNanos   int64          `json:"alarmAtNanos,omitempty"`
+	ReplayDone     bool           `json:"replayDone"`
+	ReplayError    string         `json:"replayError,omitempty"`
+	LastOutSYN     uint64         `json:"lastOutSYN"`
+	LastInSYNACK   uint64         `json:"lastInSYNACK"`
+	Tracking       bool           `json:"tracking"`
+	SourcesTracked int            `json:"sourcesTracked"`
+	SourcesAlarmed int            `json:"sourcesAlarmed"`
+	SourcesEvicted uint64         `json:"sourcesEvicted"`
+	Checkpoints    int            `json:"checkpoints"`
+	CheckpointAge  time.Duration  `json:"checkpointAgeNanos,omitempty"`
 	// CheckpointFailures counts failed checkpoint writes;
 	// LastCheckpointError is the most recent failure, cleared by the
 	// next success.
@@ -54,6 +58,23 @@ type Status struct {
 	// contract.
 	PeriodLatency     LatencySnapshot `json:"-"`
 	CheckpointLatency LatencySnapshot `json:"-"`
+}
+
+// CaptureStatus is the live capture accounting inside Status: how many
+// frames the handle saw, how many became records, and where the rest
+// went — every loss named, none silent.
+type CaptureStatus struct {
+	Frames        uint64 `json:"frames"`
+	Parsed        uint64 `json:"parsed"`
+	Skipped       uint64 `json:"skipped"`
+	RingDropped   uint64 `json:"ringDropped"`
+	KernelDropped uint64 `json:"kernelDropped"`
+}
+
+// captureStats is implemented by sources with capture accounting
+// (capture.Source).
+type captureStats interface {
+	Stats() capture.Stats
 }
 
 // Status returns a consistent snapshot of the daemon's state.
@@ -78,6 +99,16 @@ func (d *Daemon) Status() Status {
 	}
 	if dc, ok := d.src.(ingest.DropCounter); ok {
 		s.RecordsDropped = dc.Dropped()
+	}
+	if cs, ok := d.src.(captureStats); ok {
+		st := cs.Stats()
+		s.Capture = &CaptureStatus{
+			Frames:        st.Frames,
+			Parsed:        st.Parsed,
+			Skipped:       st.Skipped,
+			RingDropped:   st.RingDropped,
+			KernelDropped: st.KernelDropped,
+		}
 	}
 	if d.lastCheckpointErr != nil {
 		s.LastCheckpointError = d.lastCheckpointErr.Error()
@@ -293,6 +324,15 @@ func b2i(b bool) int {
 	return 0
 }
 
+// capField reads one capture counter off a Status, zero when the
+// source has no capture accounting (file replays).
+func capField(s Status, f func(CaptureStatus) uint64) uint64 {
+	if s.Capture == nil {
+		return 0
+	}
+	return f(*s.Capture)
+}
+
 // metricDefs is the exposition, in order. Metric names and the
 // rendered format are a public contract (dashboards scrape them); the
 // golden test pins the single-agent form byte for byte, and the
@@ -320,6 +360,27 @@ var metricDefs = []metricDef{
 	// for file replays. Emitted unconditionally so wiring a live source
 	// never changes the exposition's line set.
 	{"syndog_records_dropped_total", "counter", func(s Status) string { return fmt.Sprintf("%d", s.RecordsDropped) }, nil},
+
+	// Live capture accounting (capture.Source): frames seen, records
+	// parsed, frames the classifier skipped, records shed at a full
+	// ring, frames the kernel dropped before this process saw them.
+	// Emitted unconditionally (zeros for file replays) so switching an
+	// agent to a live: input never changes the exposition's line set.
+	{"syndog_capture_frames_total", "counter", func(s Status) string {
+		return fmt.Sprintf("%d", capField(s, func(c CaptureStatus) uint64 { return c.Frames }))
+	}, nil},
+	{"syndog_capture_records_total", "counter", func(s Status) string {
+		return fmt.Sprintf("%d", capField(s, func(c CaptureStatus) uint64 { return c.Parsed }))
+	}, nil},
+	{"syndog_capture_skipped_total", "counter", func(s Status) string {
+		return fmt.Sprintf("%d", capField(s, func(c CaptureStatus) uint64 { return c.Skipped }))
+	}, nil},
+	{"syndog_capture_ring_drops_total", "counter", func(s Status) string {
+		return fmt.Sprintf("%d", capField(s, func(c CaptureStatus) uint64 { return c.RingDropped }))
+	}, nil},
+	{"syndog_capture_kernel_drops_total", "counter", func(s Status) string {
+		return fmt.Sprintf("%d", capField(s, func(c CaptureStatus) uint64 { return c.KernelDropped }))
+	}, nil},
 	{"syndog_resume_offset_periods", "gauge", func(s Status) string { return fmt.Sprintf("%d", s.ResumeOffset) }, nil},
 
 	// Last completed period's raw counts: the pair whose difference

@@ -1,0 +1,327 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/sourcetrack"
+	"repro/internal/trace"
+)
+
+// The live equivalence suite pins the promise the live: input makes:
+// replaying a capture file through the portable capture path produces
+// exactly the detector state, keyed tracker state and counters that
+// the offline ingest.Open pcap path produces. Two layers:
+//
+//   - pipeline level (TestCaptureSourceMatchesIngestOpen): both
+//     sources drained to EOF through identical aggregators — every
+//     observable is bit-identical, including record counts and the
+//     tracker snapshot.
+//   - daemon level (TestLiveAgentMatchesFileAgent): BuildAgent with
+//     "live:pcap:PATH" versus the plain .pcap input. Reports and all
+//     detector metrics are byte-identical; the processed-record count
+//     differs only by the trailing partial period, which the bounded
+//     file replay never reads and a live source by definition must.
+
+// writeTestPcap writes tr to a temp pcap file and returns its path.
+func writeTestPcap(t *testing.T, tr *trace.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "equiv.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePcap(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// drainResult is everything observable about one full drain of a
+// source through a fresh detector + keyed tracker.
+type drainResult struct {
+	reports  []core.Report
+	kbar     float64
+	records  int
+	skipped  int
+	span     time.Duration
+	snapshot []byte // tracker snapshot, canonical encoding
+}
+
+// drainThrough runs src dry through a fresh CUSUM agent and a
+// single-shard tracker — the same record-at-a-time loop on both sides,
+// so any difference comes from the source, not the consumer.
+func drainThrough(t *testing.T, src ingest.Source) drainResult {
+	t.Helper()
+	agent, err := core.NewAgent(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := sourcetrack.New(sourcetrack.Config{Shards: 1, Agent: core.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := ingest.NewAggregator(core.Config{}.Normalized().T0, 0, ingest.WrapAgent(agent), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.SetTap(tracker)
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Feed(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	span := src.(ingest.SpanSource).Span()
+	if err := agg.Finish(span); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tracker.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drainResult{
+		reports:  agent.Reports(),
+		kbar:     agent.KBar(),
+		records:  agg.Records(),
+		skipped:  agg.Skipped(),
+		span:     span,
+		snapshot: snap,
+	}
+}
+
+// TestCaptureSourceMatchesIngestOpen: the portable capture path over a
+// pcap byte-stream is bit-identical to ingest.Open on the same file —
+// reports, K-bar, record counts, span and the keyed tracker snapshot.
+func TestCaptureSourceMatchesIngestOpen(t *testing.T) {
+	tr := testTrace(t, true)
+	path := writeTestPcap(t, tr)
+	prefix := netip.MustParsePrefix("130.216.0.0/16")
+
+	fileSrc, _, err := ingest.Open(path, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileSrc.Close()
+	file := drainThrough(t, fileSrc)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := capture.NewPcapReader(f, f)
+	if err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	liveSrc, err := capture.NewSource(fr, capture.Config{StubPrefix: prefix, Name: "live"})
+	if err != nil {
+		fr.Close()
+		t.Fatal(err)
+	}
+	defer liveSrc.Close()
+	live := drainThrough(t, liveSrc)
+
+	if !reflect.DeepEqual(file.reports, live.reports) {
+		t.Errorf("reports diverge: file %d periods, live %d periods", len(file.reports), len(live.reports))
+	}
+	if file.kbar != live.kbar {
+		t.Errorf("K-bar diverges: file %g, live %g", file.kbar, live.kbar)
+	}
+	if file.records != live.records || file.skipped != live.skipped {
+		t.Errorf("counts diverge: file %d/%d, live %d/%d",
+			file.records, file.skipped, live.records, live.skipped)
+	}
+	if file.span != live.span {
+		t.Errorf("span diverges: file %v, live %v", file.span, live.span)
+	}
+	if !bytes.Equal(file.snapshot, live.snapshot) {
+		t.Error("keyed tracker snapshots diverge")
+	}
+	if file.records != len(tr.Records) {
+		t.Errorf("drained %d records, trace has %d", file.records, len(tr.Records))
+	}
+}
+
+// equivMetrics are the metric lines that must be byte-identical
+// between the live:pcap: agent and the plain .pcap agent. Excluded,
+// with reasons: syndog_capture_* (the file path has no capture layer,
+// so they read zero there by design), syndog_replay_progress (the live
+// path has no period denominator), syndog_records_processed_total (the
+// bounded replay stops at the last complete period boundary; a live
+// source reads to EOF — see TestLiveAgentMatchesFileAgent), and the
+// wall-clock histograms/ages.
+var equivMetrics = []string{
+	"syndog_periods_total",
+	"syndog_kbar",
+	"syndog_statistic",
+	"syndog_alarmed",
+	"syndog_replay_done",
+	"syndog_replay_failed",
+	"syndog_records_skipped_total",
+	"syndog_records_dropped_total",
+	"syndog_resume_offset_periods",
+	"syndog_last_period_out_syn",
+	"syndog_last_period_in_synack",
+	"syndog_sources_tracking",
+	"syndog_sources_tracked",
+	"syndog_sources_alarmed",
+	"syndog_sources_evicted_total",
+	"syndog_checkpoints_total",
+	"syndog_checkpoint_failures_total",
+}
+
+// pickMetrics returns the subset of body's lines whose metric name is
+// in names, in names order, sample lines only.
+func pickMetrics(t *testing.T, body string, names []string) string {
+	t.Helper()
+	var out strings.Builder
+	for _, name := range names {
+		found := false
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+				out.WriteString(line)
+				out.WriteByte('\n')
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("metric %s missing from exposition", name)
+		}
+	}
+	return out.String()
+}
+
+// TestLiveAgentMatchesFileAgent: BuildAgent("live:pcap:X") and
+// BuildAgent("X.pcap") converge to the same detector: byte-identical
+// /reports, byte-identical detector metrics, and a processed-record
+// count that differs by exactly the trailing partial period.
+func TestLiveAgentMatchesFileAgent(t *testing.T) {
+	tr := testTrace(t, true)
+	path := writeTestPcap(t, tr)
+	const prefix = "130.216.0.0/16"
+
+	build := func(input string) *Daemon {
+		d, action, err := BuildAgent(AgentSpec{Name: "agent", Input: input, Prefix: prefix}, "test", io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if action != ActionFresh {
+			t.Fatalf("action = %s, want fresh", action)
+		}
+		t.Cleanup(func() { d.Close() })
+		if err := d.Replay(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	fileD := build(path)
+	liveD := build("live:pcap:" + path)
+
+	if _, fileReports := get(t, fileD, "/reports"); true {
+		_, liveReports := get(t, liveD, "/reports")
+		if fileReports != liveReports {
+			t.Error("/reports bodies diverge between live:pcap: and .pcap inputs")
+		}
+	}
+	if _, fileSums := get(t, fileD, "/summaries"); true {
+		_, liveSums := get(t, liveD, "/summaries")
+		if fileSums != liveSums {
+			t.Error("/summaries bodies diverge between live:pcap: and .pcap inputs")
+		}
+	}
+
+	_, fm := get(t, fileD, "/metrics")
+	_, lm := get(t, liveD, "/metrics")
+	if fp, lp := pickMetrics(t, fm, equivMetrics), pickMetrics(t, lm, equivMetrics); fp != lp {
+		t.Errorf("detector metrics diverge:\nfile:\n%s\nlive:\n%s", fp, lp)
+	}
+
+	// The bounded file replay stops at the last complete period
+	// boundary; the live path must read to EOF. The difference is
+	// exactly the records of the trailing partial period.
+	span := tr.Records[len(tr.Records)-1].Ts + 1
+	boundary := time.Duration(int(span/(20*time.Second))) * 20 * time.Second
+	trailing := 0
+	for _, r := range tr.Records {
+		if r.Ts >= boundary {
+			trailing++
+		}
+	}
+	fs, ls := fileD.Status(), liveD.Status()
+	if int(ls.RecordsProcessed-fs.RecordsProcessed) != trailing {
+		t.Errorf("processed records: file %d, live %d, want difference %d (trailing partial period)",
+			fs.RecordsProcessed, ls.RecordsProcessed, trailing)
+	}
+
+	// Capture-layer accounting surfaces only on the live agent.
+	if fs.Capture != nil {
+		t.Error("file agent reports capture stats")
+	}
+	switch {
+	case ls.Capture == nil:
+		t.Error("live agent reports no capture stats")
+	case ls.Capture.Parsed != uint64(len(tr.Records)):
+		t.Errorf("capture parsed %d records, trace has %d", ls.Capture.Parsed, len(tr.Records))
+	case ls.Capture.RingDropped != 0:
+		t.Errorf("blocking pcap source dropped %d records", ls.Capture.RingDropped)
+	}
+}
+
+// TestValidateLiveInputs: the spec validator catches malformed live:
+// inputs before any socket or file is opened.
+func TestValidateLiveInputs(t *testing.T) {
+	cases := []struct {
+		input, prefix, wantErr string
+	}{
+		{"live:eth0", "", "stub prefix"},
+		{"live:pcap:feed.pcap", "", "stub prefix"},
+		{"live:pcap:", "10.0.0.0/8", "needs a path"},
+		{"live:", "10.0.0.0/8", "interface name"},
+		{"live:eth0", "10.0.0.0/8", ""},
+		{"live:pcap:feed.pcap", "10.0.0.0/8", ""},
+	}
+	for _, c := range cases {
+		err := AgentSpec{Name: "a", Input: c.input, Prefix: c.prefix}.Validate()
+		switch {
+		case c.wantErr == "" && err != nil:
+			t.Errorf("%s (prefix %q): unexpected error %v", c.input, c.prefix, err)
+		case c.wantErr != "" && err == nil:
+			t.Errorf("%s (prefix %q): no error, want %q", c.input, c.prefix, c.wantErr)
+		case c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr):
+			t.Errorf("%s (prefix %q): error %v, want it to mention %q", c.input, c.prefix, err, c.wantErr)
+		}
+	}
+}
+
+// TestBuildAgentLiveMissingFile: a live:pcap: path that does not exist
+// fails at build time, not at replay time.
+func TestBuildAgentLiveMissingFile(t *testing.T) {
+	_, _, err := BuildAgent(AgentSpec{
+		Name: "a", Input: "live:pcap:" + filepath.Join(t.TempDir(), "missing.pcap"),
+		Prefix: "10.0.0.0/8",
+	}, "test", io.Discard)
+	if err == nil {
+		t.Fatal("missing pcap accepted")
+	}
+}

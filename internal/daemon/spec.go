@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/sourcetrack"
@@ -106,9 +107,12 @@ type AgentSpec struct {
 	// Name routes the agent's HTTP endpoints (/agents/{name}/...) and
 	// labels its metrics. Letters, digits, '.', '_' and '-' only.
 	Name string `json:"name"`
-	// Input is the capture to replay: .trace/.bin, .csv, or .pcap.
+	// Input is the capture to replay — .trace/.bin, .csv, or .pcap —
+	// or a live source: "live:IFACE" (AF_PACKET on linux with the
+	// 'live' build tag) or "live:pcap:PATH" (portable pcap byte-stream,
+	// file or FIFO).
 	Input string `json:"input"`
-	// Prefix is the stub prefix for pcap direction inference.
+	// Prefix is the stub prefix for pcap and live direction inference.
 	Prefix string `json:"prefix,omitempty"`
 	// Detector selects the decision rule ("" = syndog-cusum).
 	Detector string `json:"detector,omitempty"`
@@ -221,7 +225,18 @@ func (s AgentSpec) Validate() error {
 			return fail("prefix: %v", err)
 		}
 	}
-	if strings.HasSuffix(s.Input, ".pcap") && s.Prefix == "" {
+	if rest, ok := strings.CutPrefix(s.Input, "live:"); ok {
+		if s.Prefix == "" {
+			return fail("live input %s needs a stub prefix for direction inference", s.Input)
+		}
+		if path, isPcap := strings.CutPrefix(rest, "pcap:"); isPcap {
+			if path == "" {
+				return fail("live:pcap: needs a path (file or FIFO)")
+			}
+		} else if rest == "" {
+			return fail("live: needs an interface name or pcap:PATH")
+		}
+	} else if strings.HasSuffix(s.Input, ".pcap") && s.Prefix == "" {
 		return fail("trace: %s needs a stub prefix for direction inference", s.Input)
 	}
 	if _, err := ParsePolicy(string(s.OnMismatch)); err != nil {
@@ -400,6 +415,9 @@ func assemble(spec AgentSpec, det ingest.Detector, tracker *sourcetrack.Tracker,
 	if spec.Prefix != "" {
 		prefix = netip.MustParsePrefix(spec.Prefix) // Validate parsed it
 	}
+	if rest, ok := strings.CutPrefix(spec.Input, "live:"); ok {
+		return assembleLive(spec, rest, det, prefix, effT0, opts)
+	}
 	if strings.HasSuffix(spec.Input, ".pcap") {
 		// Streaming pcap: prescan for span and record count, then
 		// replay from a fresh stream — the capture never materializes.
@@ -436,4 +454,53 @@ func assemble(spec AgentSpec, det ingest.Detector, tracker *sourcetrack.Tracker,
 	src := ingest.NewTraceSource(tr)
 	info := ingest.Info{Name: tr.Name, Span: tr.Span, Records: len(tr.Records)}
 	return NewStream(det, src, info, effT0, opts)
+}
+
+// assembleLive opens a live: input. Two forms:
+//
+//	live:pcap:PATH — portable: PATH is a classic pcap byte-stream (a
+//	    capture file or a FIFO fed by `tcpdump -w -`), read through the
+//	    capture frame parser in blocking mode. Blocking keeps the path
+//	    lossless — a pipe backpressures naturally — which is what makes
+//	    replaying a capture file through it bit-identical to the
+//	    offline .pcap path.
+//	live:IFACE — an AF_PACKET socket on IFACE (linux, build tag
+//	    "live", CAP_NET_RAW), in drop mode with rebased timestamps: a
+//	    NIC cannot be paused, so a full ring sheds records and counts
+//	    them rather than pushing the loss into the kernel.
+func assembleLive(spec AgentSpec, rest string, det ingest.Detector, prefix netip.Prefix, t0 time.Duration, opts Options) (*Daemon, error) {
+	var (
+		fr  capture.FrameReader
+		cfg capture.Config
+	)
+	if path, ok := strings.CutPrefix(rest, "pcap:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		fr, err = capture.NewPcapReader(f, f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		cfg = capture.Config{StubPrefix: prefix, Name: spec.Input}
+	} else {
+		var err error
+		fr, err = capture.NewAFPacketReader(rest, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg = capture.Config{StubPrefix: prefix, Name: spec.Input, Drop: true, Rebase: true}
+	}
+	src, err := capture.NewSource(fr, cfg)
+	if err != nil {
+		fr.Close()
+		return nil, err
+	}
+	d, err := NewLive(det, src, spec.Input, t0, opts)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	return d, nil
 }

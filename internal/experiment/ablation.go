@@ -40,6 +40,7 @@ func AblationRegistry() []Experiment {
 		{"ablation-posterior", "Sequential vs posterior change detection", AblationPosterior},
 		{"attribution", "Per-source attribution: keyed recall/precision vs aggregate detection", AblationAttribution},
 		{"evasion", "Adversarial evasion matrix with closed-loop mitigation scoring", AblationEvasion},
+		{"victim", "Victim two-queue model: alarm time vs first real connection failure", AblationVictim},
 		{"distributed", "Distributed detection: fusing censored summaries from 4 monitors", AblationDistributed},
 	}
 }

@@ -9,11 +9,11 @@ import (
 
 func TestAblationRegistry(t *testing.T) {
 	reg := AblationRegistry()
-	if len(reg) != 13 {
-		t.Fatalf("ablation registry has %d entries, want 13", len(reg))
+	if len(reg) != 14 {
+		t.Fatalf("ablation registry has %d entries, want 14", len(reg))
 	}
 	for _, e := range reg {
-		if !strings.HasPrefix(e.ID, "ablation-") && e.ID != "attribution" && e.ID != "evasion" && e.ID != "distributed" {
+		if !strings.HasPrefix(e.ID, "ablation-") && e.ID != "attribution" && e.ID != "evasion" && e.ID != "distributed" && e.ID != "victim" {
 			t.Errorf("ablation id %q missing prefix", e.ID)
 		}
 		if e.Func == nil {

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVictimCells pins the deployment claim end to end on the fast
+// grid: at rates the detector is designed for (>= fmin), every flood
+// strong enough to cause a real legitimate-connection failure must be
+// alarmed strictly before that first failure; at and below fmin the
+// victim's queues must not overflow at all, so the undetectable band
+// is also the harmless band.
+func TestVictimCells(t *testing.T) {
+	cells, err := victimCells(Options{Fast: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(victimSites(Options{Fast: true})) * len(victimMultiples); len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	raced := 0
+	for _, c := range cells {
+		label := c.site + " " + trimFloat(c.mult) + "x"
+		if c.fmin <= 0 {
+			t.Fatalf("%s: nonpositive empirical fmin %v", label, c.fmin)
+		}
+		if c.falseAlarm {
+			t.Errorf("%s: false alarm before onset", label)
+		}
+		if c.mult <= 1 && (c.synDrops > 0 || c.listenOverflows > 0) {
+			t.Errorf("%s: queue overflow below the detectable floor (syn %d, listen %d)",
+				label, c.synDrops, c.listenOverflows)
+		}
+		if c.mult <= 1 && c.firstFail >= 0 {
+			t.Errorf("%s: legit connection failed at %v under a sub-fmin flood", label, c.firstFail)
+		}
+		if c.firstFail >= 0 {
+			// The race the table exists for: alarm strictly before the
+			// first legitimate failure.
+			raced++
+			if c.mult < 1 {
+				continue // guarded above; don't double-report
+			}
+			if !c.detected {
+				t.Errorf("%s: victim failed at %v but the flood went undetected", label, c.firstFail)
+				continue
+			}
+			if c.alarmAfter < 0 || c.alarmAfter >= c.firstFail {
+				t.Errorf("%s: alarm at %v did not precede first failure at %v",
+					label, c.alarmAfter, c.firstFail)
+			}
+		}
+		// The syncookies rerun of the same flood must have activated
+		// whenever the stateful run overflowed: the overflow SYNs are
+		// answered statelessly instead of dropped.
+		if c.synDrops > 0 && c.cookies == 0 {
+			t.Errorf("%s: %d SYN-queue drops but no cookie activations in the syncookies rerun",
+				label, c.synDrops)
+		}
+		if c.synDrops == 0 && c.cookies > 0 {
+			t.Errorf("%s: cookies sent (%d) without stateful overflow", label, c.cookies)
+		}
+	}
+	if raced == 0 {
+		t.Error("no cell produced a real connection failure; the race was never exercised")
+	}
+}
+
+// TestAblationVictimTable smoke-renders the artifact and checks the
+// registry routes to it.
+func TestAblationVictimTable(t *testing.T) {
+	if _, ok := LookupAny("victim"); !ok {
+		t.Fatal("victim experiment not registered")
+	}
+	arts, err := AblationVictim(Options{Fast: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("got %d artifacts, want 1", len(arts))
+	}
+	tab, ok := arts[0].(*Table)
+	if !ok {
+		t.Fatalf("artifact is %T, want *Table", arts[0])
+	}
+	if len(tab.Rows) != len(victimSites(Options{Fast: true}))*len(victimMultiples) {
+		t.Errorf("table has %d rows", len(tab.Rows))
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"UNC", "Auckland", "no outage", "yes"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

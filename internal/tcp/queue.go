@@ -1,0 +1,125 @@
+package tcp
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// This file is the two-queue half of the server model: the kernel
+// keeps SYN_RCVD entries in a SYN queue (sized by tcp_max_syn_backlog)
+// and moves each connection into a separate bounded accept queue
+// (sized by the listen() backlog) when the final ACK lands; the
+// application drains the accept queue with accept(2). Each queue fails
+// independently — a flood fills the SYN queue and starves new
+// handshakes, a stalled application fills the accept queue and drops
+// completed ones — and each failure is a distinct SRE-visible symptom
+// (SYN_RECV counts, ListenOverflows, cookie activations). QueueStats
+// and QueueObserver expose exactly those observables so experiments
+// can score detection time against the moment real clients start
+// failing.
+
+// QueueEvent is one queue transition worth observing.
+type QueueEvent uint8
+
+const (
+	// EventSynOverflow: a SYN arrived to a full SYN queue and was
+	// dropped (cookies off).
+	EventSynOverflow QueueEvent = iota
+	// EventCookieActivated: a SYN arrived to a full SYN queue and was
+	// answered with a stateless cookie (CookieOnOverflow).
+	EventCookieActivated
+	// EventAcceptOverflow: a completed handshake was dropped because
+	// the accept queue was full.
+	EventAcceptOverflow
+	// EventAccepted: the application drained one connection from the
+	// accept queue.
+	EventAccepted
+)
+
+// String implements fmt.Stringer.
+func (e QueueEvent) String() string {
+	switch e {
+	case EventSynOverflow:
+		return "syn-overflow"
+	case EventCookieActivated:
+		return "cookie-activated"
+	case EventAcceptOverflow:
+		return "accept-overflow"
+	case EventAccepted:
+		return "accepted"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// QueueObserver receives queue transitions as they happen.
+type QueueObserver func(now time.Duration, ev QueueEvent, peer netip.Addr, peerPort uint16)
+
+// QueueStats is a point-in-time snapshot of both queues.
+type QueueStats struct {
+	// SynQueueLen / SynQueueCap are the half-open (SYN_RCVD) queue's
+	// occupancy and capacity.
+	SynQueueLen, SynQueueCap int
+	// AcceptQueueLen / AcceptQueueCap are the accept queue's occupancy
+	// and capacity; cap is 0 in the flat (legacy) model.
+	AcceptQueueLen, AcceptQueueCap int
+	// SynOverflows counts SYNs dropped at a full SYN queue (the
+	// ServerStats.SynDropped counter under its kernel name).
+	SynOverflows uint64
+	// ListenOverflows counts completed handshakes dropped at a full
+	// accept queue.
+	ListenOverflows uint64
+	// CookieActivations counts overflow SYNs answered with cookies.
+	CookieActivations uint64
+	// Accepted counts connections drained by the application.
+	Accepted uint64
+}
+
+// Queues returns a snapshot of both queues.
+func (s *Server) Queues() QueueStats {
+	return QueueStats{
+		SynQueueLen:       len(s.backlog),
+		SynQueueCap:       s.cfg.Backlog,
+		AcceptQueueLen:    len(s.acceptQ),
+		AcceptQueueCap:    s.cfg.AcceptBacklog,
+		SynOverflows:      s.stats.SynDropped,
+		ListenOverflows:   s.stats.ListenOverflows,
+		CookieActivations: s.stats.CookieActivations,
+		Accepted:          s.stats.Accepted,
+	}
+}
+
+// queueEvent notifies the observer, if any.
+func (s *Server) queueEvent(now time.Duration, ev QueueEvent, key connKey) {
+	if s.OnQueueEvent != nil {
+		s.OnQueueEvent(now, ev, key.addr, key.port)
+	}
+}
+
+// armAccept schedules the application's next accept(2). One timer is
+// outstanding at a time; it re-arms itself while the queue is
+// non-empty, draining one connection per AcceptInterval.
+func (s *Server) armAccept() {
+	if s.acceptArmed || len(s.acceptQ) == 0 {
+		return
+	}
+	s.acceptArmed = true
+	s.sim.After(s.cfg.AcceptInterval, s.acceptOne)
+}
+
+// acceptOne is the application draining the head of the accept queue.
+func (s *Server) acceptOne(now time.Duration) {
+	s.acceptArmed = false
+	if len(s.acceptQ) == 0 {
+		return
+	}
+	key := s.acceptQ[0]
+	s.acceptQ = s.acceptQ[1:]
+	s.stats.Accepted++
+	s.queueEvent(now, EventAccepted, key)
+	if s.OnAccepted != nil {
+		s.OnAccepted(now, key.addr, key.port)
+	}
+	s.armAccept()
+}

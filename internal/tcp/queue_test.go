@@ -1,0 +1,250 @@
+package tcp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/packet"
+)
+
+// synFrom builds one SYN from the numbered peer.
+func synFrom(i int, isn uint32) packet.Segment {
+	a4 := spoofBase.As4()
+	a4[3] = byte(i)
+	return packet.Build(netip.AddrFrom4(a4), serverAddr, uint16(40000+i), 80, isn, 0, packet.FlagSYN)
+}
+
+// newQueueServer builds a server whose sends are captured into sent.
+func newQueueServer(t *testing.T, sim *eventsim.Sim, cfg ServerConfig, sent *[]packet.Segment) *Server {
+	t.Helper()
+	srv, err := NewServer(sim, serverAddr, 80,
+		func(seg packet.Segment) { *sent = append(*sent, seg) }, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// runHandshake drives peer i through SYN → SYN/ACK → ACK against srv,
+// reading the SYN/ACK the server just sent out of the capture slice.
+func runHandshake(t *testing.T, srv *Server, sent *[]packet.Segment, now time.Duration, i int) {
+	t.Helper()
+	syn := synFrom(i, 100)
+	before := len(*sent)
+	srv.Deliver(now, syn)
+	if len(*sent) == before {
+		t.Fatalf("peer %d: server sent nothing for SYN", i)
+	}
+	synAck := (*sent)[len(*sent)-1]
+	if synAck.Kind() != packet.KindSYNACK {
+		t.Fatalf("peer %d: reply was %v, want SYN/ACK", i, synAck.Kind())
+	}
+	srv.Deliver(now, packet.Build(syn.IP.Src, serverAddr, syn.TCP.SrcPort, 80,
+		101, synAck.TCP.Seq+1, packet.FlagACK))
+}
+
+// TestAcceptQueueOverflowCounts: with the application stalled,
+// completed handshakes beyond the accept backlog are dropped and
+// counted as listen overflows — the two-queue failure the flat model
+// cannot see.
+func TestAcceptQueueOverflowCounts(t *testing.T) {
+	sim := eventsim.New()
+	var sent []packet.Segment
+	srv := newQueueServer(t, sim, ServerConfig{
+		AcceptBacklog:  2,
+		AcceptInterval: time.Hour, // stalled application
+	}, &sent)
+
+	var events []QueueEvent
+	srv.OnQueueEvent = func(_ time.Duration, ev QueueEvent, _ netip.Addr, _ uint16) {
+		events = append(events, ev)
+	}
+
+	for i := 1; i <= 3; i++ {
+		runHandshake(t, srv, &sent, 0, i)
+	}
+
+	st := srv.Stats()
+	if st.Established != 2 {
+		t.Errorf("Established = %d, want 2", st.Established)
+	}
+	if st.ListenOverflows != 1 {
+		t.Errorf("ListenOverflows = %d, want 1", st.ListenOverflows)
+	}
+	q := srv.Queues()
+	if q.AcceptQueueLen != 2 || q.AcceptQueueCap != 2 {
+		t.Errorf("accept queue = %d/%d, want 2/2", q.AcceptQueueLen, q.AcceptQueueCap)
+	}
+	if q.ListenOverflows != 1 {
+		t.Errorf("Queues().ListenOverflows = %d, want 1", q.ListenOverflows)
+	}
+	if len(events) != 1 || events[0] != EventAcceptOverflow {
+		t.Errorf("events = %v, want [accept-overflow]", events)
+	}
+}
+
+// TestAcceptDrainPacing: the modeled application accepts one
+// connection per interval; accepted callbacks land on that schedule
+// and empty the queue.
+func TestAcceptDrainPacing(t *testing.T) {
+	sim := eventsim.New()
+	var sent []packet.Segment
+	srv := newQueueServer(t, sim, ServerConfig{
+		AcceptBacklog:  4,
+		AcceptInterval: 10 * time.Millisecond,
+	}, &sent)
+
+	var acceptTimes []time.Duration
+	srv.OnAccepted = func(now time.Duration, _ netip.Addr, _ uint16) {
+		acceptTimes = append(acceptTimes, now)
+	}
+
+	for i := 1; i <= 3; i++ {
+		runHandshake(t, srv, &sent, 0, i)
+	}
+	sim.Run()
+
+	if got := srv.Stats().Accepted; got != 3 {
+		t.Fatalf("Accepted = %d, want 3", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i, ts := range acceptTimes {
+		if ts != want[i] {
+			t.Errorf("accept %d at %v, want %v", i, ts, want[i])
+		}
+	}
+	if q := srv.Queues(); q.AcceptQueueLen != 0 {
+		t.Errorf("accept queue not drained: %d", q.AcceptQueueLen)
+	}
+}
+
+// TestCookieOnOverflow: a full SYN queue under tcp_syncookies=1
+// answers overflow SYNs statelessly; the cookie ACK still establishes,
+// and nothing is dropped.
+func TestCookieOnOverflow(t *testing.T) {
+	sim := eventsim.New()
+	var sent []packet.Segment
+	srv := newQueueServer(t, sim, ServerConfig{
+		Backlog:          1,
+		CookieOnOverflow: true,
+		CookieSecret:     42,
+	}, &sent)
+
+	var events []QueueEvent
+	srv.OnQueueEvent = func(_ time.Duration, ev QueueEvent, _ netip.Addr, _ uint16) {
+		events = append(events, ev)
+	}
+
+	// Peer 1 fills the single-slot SYN queue.
+	srv.Deliver(0, synFrom(1, 100))
+	if srv.BacklogLen() != 1 {
+		t.Fatalf("backlog = %d, want 1", srv.BacklogLen())
+	}
+
+	// Peer 2 overflows: answered with a cookie, not dropped.
+	syn2 := synFrom(2, 200)
+	srv.Deliver(0, syn2)
+	st := srv.Stats()
+	if st.SynDropped != 0 {
+		t.Errorf("SynDropped = %d, want 0 under cookies", st.SynDropped)
+	}
+	if st.CookieActivations != 1 {
+		t.Errorf("CookieActivations = %d, want 1", st.CookieActivations)
+	}
+	cookieSynAck := sent[len(sent)-1]
+	if cookieSynAck.Kind() != packet.KindSYNACK {
+		t.Fatalf("overflow reply was %v, want SYN/ACK", cookieSynAck.Kind())
+	}
+	wantCookie := MakeCookie(42, syn2.IP.Src, serverAddr, syn2.TCP.SrcPort, 80, 200)
+	if cookieSynAck.TCP.Seq != wantCookie {
+		t.Errorf("cookie ISN = %d, want %d", cookieSynAck.TCP.Seq, wantCookie)
+	}
+
+	// Peer 2's ACK validates against the cookie and establishes with
+	// no backlog entry ever created.
+	srv.Deliver(0, packet.Build(syn2.IP.Src, serverAddr, syn2.TCP.SrcPort, 80,
+		201, cookieSynAck.TCP.Seq+1, packet.FlagACK))
+	if got := srv.Stats().Established; got != 1 {
+		t.Errorf("Established = %d, want 1", got)
+	}
+	if got := srv.Stats().BadAcks; got != 0 {
+		t.Errorf("BadAcks = %d, want 0", got)
+	}
+
+	// A forged ACK (wrong cookie) is still rejected.
+	srv.Deliver(0, packet.Build(syn2.IP.Src, serverAddr, 41999, 80,
+		201, 12345, packet.FlagACK))
+	if got := srv.Stats().BadAcks; got != 1 {
+		t.Errorf("BadAcks after forged ACK = %d, want 1", got)
+	}
+
+	if len(events) != 1 || events[0] != EventCookieActivated {
+		t.Errorf("events = %v, want [cookie-activated]", events)
+	}
+}
+
+// TestSynOverflowEvent: cookies off, a full SYN queue drops and
+// reports the overflow.
+func TestSynOverflowEvent(t *testing.T) {
+	sim := eventsim.New()
+	var sent []packet.Segment
+	srv := newQueueServer(t, sim, ServerConfig{Backlog: 1}, &sent)
+
+	var overflowPeer netip.Addr
+	srv.OnQueueEvent = func(_ time.Duration, ev QueueEvent, peer netip.Addr, _ uint16) {
+		if ev == EventSynOverflow {
+			overflowPeer = peer
+		}
+	}
+	srv.Deliver(0, synFrom(1, 100))
+	syn2 := synFrom(2, 200)
+	srv.Deliver(0, syn2)
+
+	if got := srv.Stats().SynDropped; got != 1 {
+		t.Errorf("SynDropped = %d, want 1", got)
+	}
+	if q := srv.Queues(); q.SynOverflows != 1 || q.SynQueueLen != 1 || q.SynQueueCap != 1 {
+		t.Errorf("Queues() = %+v", q)
+	}
+	if overflowPeer != syn2.IP.Src {
+		t.Errorf("overflow peer = %v, want %v", overflowPeer, syn2.IP.Src)
+	}
+}
+
+// TestFlatModelUnchanged: AcceptBacklog zero keeps the original
+// semantics — immediate establishment, no accept-queue accounting.
+func TestFlatModelUnchanged(t *testing.T) {
+	sim := eventsim.New()
+	var sent []packet.Segment
+	srv := newQueueServer(t, sim, ServerConfig{}, &sent)
+
+	runHandshake(t, srv, &sent, 0, 1)
+	sim.Run()
+
+	st := srv.Stats()
+	if st.Established != 1 {
+		t.Errorf("Established = %d, want 1", st.Established)
+	}
+	if st.Accepted != 0 || st.ListenOverflows != 0 || st.CookieActivations != 0 {
+		t.Errorf("two-queue counters moved in flat mode: %+v", st)
+	}
+	if q := srv.Queues(); q.AcceptQueueCap != 0 || q.AcceptQueueLen != 0 {
+		t.Errorf("accept queue present in flat mode: %+v", q)
+	}
+}
+
+func TestQueueEventString(t *testing.T) {
+	for ev, want := range map[QueueEvent]string{
+		EventSynOverflow:     "syn-overflow",
+		EventCookieActivated: "cookie-activated",
+		EventAcceptOverflow:  "accept-overflow",
+		EventAccepted:        "accepted",
+		QueueEvent(99):       "event(99)",
+	} {
+		if got := ev.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ev, got, want)
+		}
+	}
+}

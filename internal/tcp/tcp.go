@@ -42,6 +42,10 @@ const (
 	// DefaultRTOBase is the initial retransmission timeout; it doubles
 	// per retry (3s, 6s, 12s...).
 	DefaultRTOBase = 3 * time.Second
+	// DefaultAcceptInterval is the default pace at which the modeled
+	// application drains the accept queue when AcceptBacklog is set —
+	// one accept per interval, a busy-but-healthy server.
+	DefaultAcceptInterval = 10 * time.Millisecond
 )
 
 // SendFunc transmits a segment into the network.
@@ -74,8 +78,26 @@ type ServerConfig struct {
 	// entry is created; the connection state is encoded in the server
 	// ISN and validated on the final ACK.
 	SynCookies bool
-	// CookieSecret keys the cookie MAC when SynCookies is on.
+	// CookieSecret keys the cookie MAC when SynCookies or
+	// CookieOnOverflow is on.
 	CookieSecret uint64
+	// AcceptBacklog, when positive, enables the kernel's second queue:
+	// a completed handshake moves the connection into a bounded accept
+	// queue drained by the application at AcceptInterval. A full accept
+	// queue drops the connection (ListenOverflows) — the symptom SREs
+	// read off `netstat -s` as "times the listen queue of a socket
+	// overflowed". Zero keeps the original flat model where the final
+	// ACK establishes immediately.
+	AcceptBacklog int
+	// AcceptInterval is how often the modeled application accepts one
+	// queued connection; zero takes DefaultAcceptInterval. Only
+	// meaningful with AcceptBacklog > 0.
+	AcceptInterval time.Duration
+	// CookieOnOverflow models tcp_syncookies=1: the server runs
+	// stateful until the SYN queue fills, then answers overflow SYNs
+	// with stateless cookies instead of dropping them — each send
+	// counted as a cookie activation.
+	CookieOnOverflow bool
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -90,6 +112,9 @@ func (c *ServerConfig) applyDefaults() {
 	}
 	if c.RTOBase == 0 {
 		c.RTOBase = DefaultRTOBase
+	}
+	if c.AcceptBacklog > 0 && c.AcceptInterval == 0 {
+		c.AcceptInterval = DefaultAcceptInterval
 	}
 }
 
@@ -109,6 +134,15 @@ type ServerStats struct {
 	// BadAcks counts final ACKs that matched no half-open entry and no
 	// valid cookie.
 	BadAcks uint64
+	// Accepted counts connections the application drained from the
+	// accept queue (two-queue mode only).
+	Accepted uint64
+	// ListenOverflows counts completed handshakes dropped because the
+	// accept queue was full — the kernel's ListenOverflows counter.
+	ListenOverflows uint64
+	// CookieActivations counts overflow SYNs answered with a stateless
+	// cookie under CookieOnOverflow — the kernel's SyncookiesSent.
+	CookieActivations uint64
 }
 
 // Server is a passive TCP endpoint in LISTEN on one port.
@@ -123,8 +157,17 @@ type Server struct {
 	isn     uint32
 	stats   ServerStats
 
+	acceptQ     []connKey
+	acceptArmed bool
+
 	// OnEstablished, if set, fires when a handshake completes.
 	OnEstablished func(now time.Duration, peer netip.Addr, peerPort uint16)
+	// OnAccepted, if set, fires when the application drains a
+	// connection from the accept queue (two-queue mode only).
+	OnAccepted func(now time.Duration, peer netip.Addr, peerPort uint16)
+	// OnQueueEvent, if set, observes every queue transition — SYN-queue
+	// overflow, cookie activation, accept-queue overflow, accept.
+	OnQueueEvent QueueObserver
 }
 
 // NewServer builds a listening endpoint.
@@ -196,8 +239,21 @@ func (s *Server) onSyn(now time.Duration, seg packet.Segment) {
 		return
 	}
 	if len(s.backlog) >= s.cfg.Backlog {
+		if s.cfg.CookieOnOverflow {
+			// tcp_syncookies=1: the SYN queue is full, fall back to a
+			// stateless cookie instead of dropping — service degrades
+			// (no retransmission state) but survives.
+			s.stats.CookieActivations++
+			s.queueEvent(now, EventCookieActivated, key)
+			cookie := MakeCookie(s.cfg.CookieSecret, seg.IP.Src, s.addr,
+				seg.TCP.SrcPort, s.port, seg.TCP.Seq)
+			s.send(packet.Build(s.addr, seg.IP.Src, s.port, seg.TCP.SrcPort,
+				cookie, seg.TCP.Seq+1, packet.FlagSYN|packet.FlagACK))
+			return
+		}
 		// The queue is exhausted: this is the victim's failure mode.
 		s.stats.SynDropped++
+		s.queueEvent(now, EventSynOverflow, key)
 		return
 	}
 	ho := &halfOpen{key: key, serverISN: s.nextISN(), clientISN: seg.TCP.Seq}
@@ -261,20 +317,55 @@ func (s *Server) onAck(now time.Duration, seg packet.Segment) {
 		want := MakeCookie(s.cfg.CookieSecret, seg.IP.Src, s.addr,
 			seg.TCP.SrcPort, s.port, seg.TCP.Seq-1)
 		if seg.TCP.Ack-1 == want {
-			s.established(now, key)
+			s.handshakeComplete(now, key)
 		} else {
 			s.stats.BadAcks++
 		}
 		return
 	}
 
-	ho, ok := s.backlog[key]
-	if !ok || seg.TCP.Ack != ho.serverISN+1 {
-		s.stats.BadAcks++
+	if ho, ok := s.backlog[key]; ok {
+		if seg.TCP.Ack != ho.serverISN+1 {
+			s.stats.BadAcks++
+			return
+		}
+		s.dropHalfOpen(ho)
+		s.handshakeComplete(now, key)
 		return
 	}
-	s.dropHalfOpen(ho)
+	if s.cfg.CookieOnOverflow {
+		// No half-open entry: this ACK may answer a cookie SYN/ACK sent
+		// while the SYN queue was full.
+		want := MakeCookie(s.cfg.CookieSecret, seg.IP.Src, s.addr,
+			seg.TCP.SrcPort, s.port, seg.TCP.Seq-1)
+		if seg.TCP.Ack-1 == want {
+			s.handshakeComplete(now, key)
+			return
+		}
+	}
+	s.stats.BadAcks++
+}
+
+// handshakeComplete routes a finished three-way handshake: straight to
+// ESTABLISHED in the flat model, through the bounded accept queue in
+// two-queue mode.
+func (s *Server) handshakeComplete(now time.Duration, key connKey) {
+	if s.cfg.AcceptBacklog <= 0 {
+		s.established(now, key)
+		return
+	}
+	if len(s.acceptQ) >= s.cfg.AcceptBacklog {
+		// The application is not draining fast enough: the kernel
+		// drops the fully established connection. This — not SYN-queue
+		// pressure — is the moment a legitimate client with a completed
+		// handshake loses service.
+		s.stats.ListenOverflows++
+		s.queueEvent(now, EventAcceptOverflow, key)
+		return
+	}
 	s.established(now, key)
+	s.acceptQ = append(s.acceptQ, key)
+	s.armAccept()
 }
 
 func (s *Server) established(now time.Duration, key connKey) {
